@@ -1,0 +1,39 @@
+"""Shared fixtures and scale settings for the benchmark harness.
+
+Every table/figure of the paper has one benchmark module that regenerates it
+(see DESIGN.md's per-experiment index).  The suite-wide artefacts share one
+campaign, warmed once per session, so the timed portion of each benchmark is
+the artefact regeneration itself rather than seven redundant suite
+simulations.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``-s`` to also see the regenerated tables/series printed by each
+benchmark (they are the same rows the paper reports; EXPERIMENTS.md records a
+reference copy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import PAPER_PREDICTORS
+from repro.simulation.campaign import run_campaign
+
+#: Workload scale used by the benchmark harness.  Large enough for every
+#: predictor to be deep in steady state, small enough for the whole harness
+#: to complete in a couple of minutes of pure-Python simulation.
+BENCH_SCALE = 0.5
+
+
+@pytest.fixture(scope="session")
+def bench_campaign():
+    """Warm the campaign cache once for all suite-wide benchmarks."""
+    return run_campaign(scale=BENCH_SCALE, predictors=PAPER_PREDICTORS)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with a single timed invocation (macro benchmark)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

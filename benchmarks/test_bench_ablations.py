@@ -1,0 +1,84 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not artefacts of the paper's evaluation, but they quantify the
+design alternatives the paper discusses in Section 2: stride update policies,
+blending vs a single fixed order, exact vs small saturating counters, and the
+hybrid predictor the paper motivates as future work.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.simulation.simulator import simulate_trace
+from repro.workloads.suite import get_workload
+
+#: Scale for ablation traces; one benchmark's trace is enough per ablation.
+ABLATION_SCALE = 0.3
+
+
+def _trace(name):
+    return get_workload(name).trace(scale=ABLATION_SCALE)
+
+
+def test_bench_ablation_stride_update_policies(benchmark):
+    """Always-update vs counter-hysteresis vs two-delta stride (Section 2.1)."""
+    trace = _trace("ijpeg")
+    result = run_once(benchmark, simulate_trace, trace, ("s", "stride-counter", "s2"))
+    accuracies = {name: result.results[name].accuracy for name in result.predictor_names}
+    # The hysteresis variants must not lose to the naive policy, and two-delta
+    # is the best (or tied best) of the three on stride-heavy code.
+    assert accuracies["s2"] >= accuracies["s"] - 1.0
+    print()
+    print({name: round(value, 1) for name, value in accuracies.items()})
+
+
+def test_bench_ablation_blending_vs_single_order(benchmark):
+    """Blended orders 0..3 with lazy exclusion vs a single order-3 fcm."""
+    trace = _trace("perl")
+    result = run_once(benchmark, simulate_trace, trace, ("fcm3", "fcm3-single", "fcm3-full"))
+    blended = result.results["fcm3"].accuracy
+    single = result.results["fcm3-single"].accuracy
+    full = result.results["fcm3-full"].accuracy
+    # Blending recovers the predictions a fixed order-3 context misses while
+    # its table warms up, so it must not be worse.
+    assert blended >= single - 1.0
+    print()
+    print({"blended": round(blended, 1), "single": round(single, 1), "full-update": round(full, 1)})
+
+
+def test_bench_ablation_exact_vs_small_counters(benchmark):
+    """Exact counts (the paper's configuration) vs halve-on-saturation counters."""
+    trace = _trace("m88ksim")
+    result = run_once(benchmark, simulate_trace, trace, ("fcm3", "fcm3-small"))
+    exact = result.results["fcm3"].accuracy
+    small = result.results["fcm3-small"].accuracy
+    # Small counters weight recent history; on a steady workload the two are
+    # close, and neither collapses.
+    assert abs(exact - small) < 15.0
+    print()
+    print({"exact": round(exact, 1), "small-counters": round(small, 1)})
+
+
+def test_bench_hybrid_vs_components(benchmark):
+    """The Section 4.2 hybrid: stride + fcm with a PC chooser vs its parts."""
+    trace = _trace("gcc")
+    result = run_once(
+        benchmark, simulate_trace, trace, ("s2", "fcm3", "hybrid-s2-fcm3", "hybrid-oracle")
+    )
+    stride = result.results["s2"].accuracy
+    fcm = result.results["fcm3"].accuracy
+    hybrid = result.results["hybrid-s2-fcm3"].accuracy
+    oracle = result.results["hybrid-oracle"].accuracy
+    # The realistic hybrid must land at least near the better component, and
+    # the oracle bounds everything from above.
+    assert hybrid >= min(stride, fcm) - 1.0
+    assert oracle >= max(stride, fcm, hybrid) - 1e-9
+    print()
+    print(
+        {
+            "s2": round(stride, 1),
+            "fcm3": round(fcm, 1),
+            "hybrid": round(hybrid, 1),
+            "oracle": round(oracle, 1),
+        }
+    )

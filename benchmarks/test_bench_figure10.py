@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 10: unique-value profiles."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.reporting.experiments import figure10
+
+
+def test_bench_figure10_value_characteristics(benchmark, bench_campaign):
+    """Figure 10: distribution of unique values per static instruction."""
+    artifact = run_once(benchmark, figure10, scale=BENCH_SCALE)
+    profile = artifact.data["average"]
+    assert profile.static_fraction_up_to(64) > 60.0
+    assert profile.dynamic_fraction_up_to(4096) > 80.0
+    print()
+    print(artifact.render())

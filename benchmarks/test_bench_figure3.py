@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 3: overall prediction success per benchmark."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.reporting.experiments import figure3
+
+
+def test_bench_figure3_overall_accuracy(benchmark, bench_campaign):
+    """Figure 3: L, S2, FCM1-3 accuracy for every benchmark.
+
+    The paper's shape must hold: last value < stride < fcm on average, with
+    diminishing returns for higher fcm orders.
+    """
+    artifact = run_once(benchmark, figure3, scale=BENCH_SCALE)
+    figure = artifact.data
+    means = {name: sum(values) / len(values) for name, values in figure.series.items()}
+    assert means["l"] < means["s2"] < means["fcm3"]
+    assert means["fcm2"] <= means["fcm3"] + 0.5
+    print()
+    print(artifact.render())
+    print({name: round(value, 1) for name, value in means.items()})

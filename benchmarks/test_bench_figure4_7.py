@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figures 4-7: per-category prediction success."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.reporting.experiments import figure4_7
+
+
+def test_bench_figures4_to_7_per_category_accuracy(benchmark, bench_campaign):
+    """Figures 4-7: accuracy for AddSub, Loads, Logic and Shift instructions."""
+    artifact = run_once(benchmark, figure4_7, scale=BENCH_SCALE)
+    figures = artifact.data
+    assert set(figures) == {"figure4", "figure5", "figure6", "figure7"}
+    # AddSub (Figure 4) is easier for the stride predictor than Shift (Figure 7).
+    addsub_s2 = sum(figures["figure4"].series["s2"]) / len(figures["figure4"].x_values)
+    shift_s2 = sum(figures["figure7"].series["s2"]) / len(figures["figure7"].x_values)
+    assert addsub_s2 > shift_s2
+    print()
+    print(artifact.render())

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 8: contribution of the different predictors."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.reporting.experiments import figure8
+
+
+def test_bench_figure8_predicted_set_correlation(benchmark, bench_campaign):
+    """Figure 8: correctness subsets (np, l, s, ls, f, lf, sf, lsf)."""
+    artifact = run_once(benchmark, figure8, scale=BENCH_SCALE)
+    breakdown = artifact.data["average"]
+    assert abs(sum(breakdown.overall.values()) - 100.0) < 1e-6
+    # Shape of the paper's summary: a large all-three slice, a significant
+    # fcm-only slice, and a negligible last-value-only slice.
+    assert breakdown.fraction_all_three() > 10.0
+    assert breakdown.fraction_only_fcm() > 5.0
+    assert breakdown.overall["l"] < 5.0
+    print()
+    print(artifact.render())

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 9: cumulative FCM-over-stride improvement."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.reporting.experiments import figure9
+
+
+def test_bench_figure9_cumulative_improvement(benchmark, bench_campaign):
+    """Figure 9: a minority of static instructions carries most of the gain."""
+    artifact = run_once(benchmark, figure9, scale=BENCH_SCALE)
+    curve = artifact.data["All"]
+    assert curve.total_improvement > 0
+    assert curve.improvement_at(30) > 55.0
+    assert curve.improvement_at(100) == 100.0
+    print()
+    print(artifact.render())
+    print(
+        "20% of improving static instructions give "
+        f"{curve.improvement_at(20):.1f}% of the total improvement"
+    )

@@ -1,0 +1,45 @@
+"""Benchmarks for the paper's micro artefacts: Table 1, Table 3, Figures 1-2.
+
+These exercise the predictors directly on the sequence classes of Section 1.1
+and the worked examples of Section 2, with no workload substrate involved.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.reporting.experiments import figure1, figure2, table1, table3
+from repro.sequences.generators import SequenceClass
+
+
+def test_bench_table1_learning_profiles(benchmark):
+    """Table 1: LT/LD of last value, two-delta stride and fcm3 per sequence class."""
+    artifact = run_once(benchmark, table1, length=256, period=6)
+    data = artifact.data
+    assert data[SequenceClass.STRIDE]["s2"].learning_degree == 100.0
+    assert data[SequenceClass.REPEATED_NON_STRIDE]["fcm3"].learning_degree == 100.0
+    print()
+    print(artifact.render())
+
+
+def test_bench_table3_instruction_categories(benchmark):
+    """Table 3: the instruction-category definitions."""
+    artifact = run_once(benchmark, table3)
+    assert "AddSub" in artifact.text
+    print()
+    print(artifact.render())
+
+
+def test_bench_figure1_fcm_orders(benchmark):
+    """Figure 1: finite context models of orders 0-3 on the worked example."""
+    artifact = run_once(benchmark, figure1)
+    assert artifact.data[3]["prediction"] == "b"
+    print()
+    print(artifact.render())
+
+
+def test_bench_figure2_stride_vs_fcm(benchmark):
+    """Figure 2: stride vs order-2 fcm on a repeated stride sequence."""
+    artifact = run_once(benchmark, figure2, period=4, repetitions=3)
+    assert artifact.data["fcm2"]["profile"].learning_degree == 100.0
+    print()
+    print(artifact.render())

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of raw predictor throughput.
+
+Not a paper artefact, but useful engineering data: how many predictions per
+second each predictor model sustains on this substrate, which bounds how long
+the paper-scale experiments would take.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import create_predictor
+from repro.trace.synthetic import trace_from_streams
+from repro.sequences.generators import (
+    non_stride_sequence,
+    repeated_non_stride_sequence,
+    repeated_stride_sequence,
+    stride_sequence,
+)
+
+
+def _mixed_trace(length_per_pc: int = 400):
+    return trace_from_streams(
+        {
+            0: [7] * length_per_pc,
+            8: stride_sequence(length_per_pc, start=100, stride=8),
+            16: repeated_stride_sequence(length_per_pc, period=6),
+            24: repeated_non_stride_sequence(length_per_pc, period=5, seed=3),
+            32: non_stride_sequence(length_per_pc, seed=9),
+        }
+    )
+
+
+@pytest.mark.parametrize("predictor_name", ["l", "s2", "fcm1", "fcm3", "hybrid-s2-fcm3"])
+def test_bench_predictor_observe_throughput(benchmark, predictor_name):
+    """Observe-loop throughput (predict + score + update) per predictor."""
+    trace = _mixed_trace()
+    records = [(record.pc, record.value, record.category) for record in trace]
+
+    def run():
+        predictor = create_predictor(predictor_name)
+        correct = 0
+        for pc, value, category in records:
+            correct += predictor.observe(pc, value, category)
+        return correct
+
+    correct = benchmark(run)
+    assert 0 <= correct <= len(records)
+
+
+def test_bench_trace_collection_compress(benchmark):
+    """End-to-end workload interpretation and trace collection speed."""
+    from repro.workloads.suite import get_workload
+
+    workload = get_workload("compress")
+    trace = benchmark.pedantic(
+        lambda: workload.trace(scale=0.3), rounds=1, iterations=1
+    )
+    assert len(trace) > 1000

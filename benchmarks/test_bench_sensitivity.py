@@ -1,0 +1,46 @@
+"""Benchmarks for the Section 4.4 sensitivity studies.
+
+Covers Table 6 (gcc vs input files), Table 7 (gcc vs flags) and Figure 11
+(gcc vs fcm order).  These re-simulate gcc for each setting, so they are the
+most expensive artefacts after the suite campaign; a reduced scale keeps them
+to a few seconds each.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.reporting.experiments import figure11, table6, table7
+
+#: gcc-only sweeps are re-simulated per setting; a smaller scale than the
+#: campaign keeps the total harness time reasonable.
+SENSITIVITY_SCALE = 0.3
+
+
+def test_bench_table6_input_sensitivity(benchmark):
+    """Table 6: gcc accuracy is insensitive to the input file."""
+    artifact = run_once(benchmark, table6, scale=SENSITIVITY_SCALE)
+    accuracies = [point.accuracy for point in artifact.data]
+    assert max(accuracies) - min(accuracies) < 20.0
+    print()
+    print(artifact.render())
+
+
+def test_bench_table7_flag_sensitivity(benchmark):
+    """Table 7: gcc accuracy is insensitive to the compilation flags."""
+    artifact = run_once(benchmark, table7, scale=SENSITIVITY_SCALE)
+    accuracies = [point.accuracy for point in artifact.data]
+    assert max(accuracies) - min(accuracies) < 20.0
+    print()
+    print(artifact.render())
+
+
+def test_bench_figure11_order_sensitivity(benchmark):
+    """Figure 11: accuracy improves with order, with diminishing returns."""
+    artifact = run_once(benchmark, figure11, scale=SENSITIVITY_SCALE, max_order=8)
+    accuracies = artifact.data
+    assert accuracies[8] >= accuracies[1]
+    early_gain = accuracies[3] - accuracies[1]
+    late_gain = accuracies[8] - accuracies[6]
+    assert late_gain <= early_gain + 2.0
+    print()
+    print(artifact.render())

@@ -1,0 +1,39 @@
+"""Benchmarks regenerating the paper's benchmark-characterisation tables.
+
+Covers Table 2 (benchmark characteristics), Table 4 (static counts per
+category) and Table 5 (dynamic percentages per category).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.reporting.experiments import table2, table4, table5
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def test_bench_table2_benchmark_characteristics(benchmark, bench_campaign):
+    """Table 2: dynamic instruction counts and predicted fractions."""
+    artifact = run_once(benchmark, table2, scale=BENCH_SCALE)
+    for row in artifact.data.values():
+        assert 0.5 <= row["fraction_predicted"] <= 0.95
+    print()
+    print(artifact.render())
+
+
+def test_bench_table4_static_counts(benchmark, bench_campaign):
+    """Table 4: static count of predicted instructions per category."""
+    artifact = run_once(benchmark, table4, scale=BENCH_SCALE)
+    for benchmark_name in BENCHMARK_ORDER:
+        assert artifact.data["AddSub"][benchmark_name] > 0
+    print()
+    print(artifact.render())
+
+
+def test_bench_table5_dynamic_percentages(benchmark, bench_campaign):
+    """Table 5: dynamic share of predicted instructions per category."""
+    artifact = run_once(benchmark, table5, scale=BENCH_SCALE)
+    for benchmark_name in BENCHMARK_ORDER:
+        total = sum(artifact.data[c][benchmark_name] for c in artifact.data)
+        assert abs(total - 100.0) < 1.0
+    print()
+    print(artifact.render())

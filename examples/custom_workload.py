@@ -1,0 +1,121 @@
+"""Bringing your own workload: predictability of a custom kernel.
+
+The paper's methodology is not tied to SPEC95: any program that can be
+expressed against the ISA substrate can be traced and analysed.  This example
+builds a small pointer-chasing + reduction kernel with the
+:class:`ProgramBuilder`, collects its value trace, classifies the per-PC value
+sequences into the Section 1.1 taxonomy, and reports how well each predictor
+model copes.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import PAPER_PREDICTORS, classify_sequence, simulate_trace
+from repro.isa.memory import SparseMemory
+from repro.isa.program import ProgramBuilder
+from repro.reporting.tables import format_table
+from repro.trace.collector import collect_trace
+
+LIST_BASE = 0x1_0000
+ARRAY_BASE = 0x8_0000
+NODES = 64
+SWEEPS = 8
+
+
+def build_program():
+    """A linked-list walk (non-stride addresses) plus an array reduction."""
+    b = ProgramBuilder("custom-kernel")
+    r_sweep, r_sweeps, r_ptr, r_value = 1, 2, 3, 4
+    r_sum, r_i, r_addr, r_cond = 5, 6, 7, 8
+
+    b.li(r_sweep, 0, "sweep counter")
+    b.li(r_sweeps, SWEEPS, "sweeps")
+    sweep_loop = b.label("sweep_loop")
+    done = b.fresh_label("done")
+    b.slt(r_cond, r_sweep, r_sweeps, "sweeps left?")
+    b.beq(r_cond, 0, done)
+
+    # Pointer chase over the shuffled linked list.
+    b.li(r_ptr, LIST_BASE, "list head")
+    walk = b.fresh_label("walk")
+    walk_done = b.fresh_label("walk_done")
+    b.label(walk)
+    b.beq(r_ptr, 0, walk_done)
+    b.lw(r_value, r_ptr, 0, "payload")
+    b.add(r_sum, r_sum, r_value, "accumulate payload")
+    b.lw(r_ptr, r_ptr, 8, "follow next pointer")
+    b.j(walk)
+    b.label(walk_done)
+
+    # Strided array reduction.
+    b.li(r_i, 0, "array index")
+    reduce_loop = b.fresh_label("reduce")
+    reduce_done = b.fresh_label("reduce_done")
+    b.label(reduce_loop)
+    b.slti(r_cond, r_i, NODES, "elements left?")
+    b.beq(r_cond, 0, reduce_done)
+    b.sll(r_addr, r_i, 3, "offset")
+    b.addi(r_addr, r_addr, ARRAY_BASE, "address")
+    b.lw(r_value, r_addr, 0, "element")
+    b.add(r_sum, r_sum, r_value, "accumulate")
+    b.addi(r_i, r_i, 1, "next element")
+    b.j(reduce_loop)
+    b.label(reduce_done)
+
+    b.addi(r_sweep, r_sweep, 1, "next sweep")
+    b.j(sweep_loop)
+    b.label(done)
+    return b.build()
+
+
+def build_memory():
+    import random
+
+    rng = random.Random(42)
+    memory = SparseMemory()
+    order = list(range(NODES))
+    rng.shuffle(order)
+    for position, node in enumerate(order):
+        address = LIST_BASE + node * 16
+        memory.store_word(address, rng.randrange(1, 100))
+        next_node = order[position + 1] if position + 1 < NODES else None
+        memory.store_word(address + 8, 0 if next_node is None else LIST_BASE + next_node * 16)
+    for index in range(NODES):
+        memory.store_word(ARRAY_BASE + index * 8, index * 3)
+    return memory
+
+
+def main() -> None:
+    program = build_program()
+    trace, execution = collect_trace(program, memory=build_memory())
+    print(
+        f"custom kernel: {execution.retired_instructions} dynamic instructions, "
+        f"{len(trace)} predicted\n"
+    )
+
+    # Classify the value sequence each static instruction produces.
+    classes = Counter(
+        classify_sequence(values).value for values in trace.values_by_pc().values() if values
+    )
+    rows = [[label, count] for label, count in classes.most_common()]
+    print(format_table(["sequence class", "static instructions"], rows,
+                       title="Per-PC value sequence classes (Section 1.1 taxonomy)"))
+    print()
+
+    result = simulate_trace(trace, PAPER_PREDICTORS)
+    rows = [[name, result.results[name].accuracy] for name in result.predictor_names]
+    print(format_table(["predictor", "accuracy %"], rows, title="Predictability of the custom kernel"))
+    print(
+        "\nThe repeated pointer chase is invisible to stride prediction but, because "
+        "the same chain repeats every sweep, the context-based predictor learns it."
+    )
+
+
+if __name__ == "__main__":
+    main()

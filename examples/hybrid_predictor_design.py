@@ -1,0 +1,70 @@
+"""Designing a hybrid predictor, following Section 4.2 of the paper.
+
+The paper observes that (a) most correct predictions are shared between the
+stride and fcm predictors, (b) fcm alone contributes a further ~20%, and
+(c) that extra contribution is concentrated in a small fraction of static
+instructions.  Those three facts motivate a hybrid: use the cheap stride
+predictor by default and fcm only where it pays off.
+
+This example reproduces that chain of reasoning on one benchmark:
+
+1. run last-value, stride and fcm over a gcc trace and print the
+   predicted-set correlation (Figure 8's data),
+2. print how concentrated the fcm-over-stride improvement is (Figure 9), and
+3. compare a PC-chooser hybrid and an oracle hybrid against the components.
+
+Run with::
+
+    python examples/hybrid_predictor_design.py
+"""
+
+from __future__ import annotations
+
+from repro import get_workload, simulate_trace
+from repro.reporting.tables import format_table
+from repro.simulation.correlation import SUBSET_LABELS, correlation_breakdown
+from repro.simulation.improvement import improvement_curve
+
+BENCHMARK = "gcc"
+SCALE = 0.5
+
+
+def main() -> None:
+    trace = get_workload(BENCHMARK).trace(scale=SCALE)
+    print(f"{BENCHMARK}: {len(trace)} predicted instructions at scale {SCALE}\n")
+
+    # --- Step 1: who predicts what? -------------------------------------- #
+    base = simulate_trace(trace, ("l", "s2", "fcm3"))
+    breakdown = correlation_breakdown(base)
+    rows = [[label, breakdown.overall[label]] for label in SUBSET_LABELS]
+    print(format_table(["subset", "% of predictions"], rows,
+                       title="Predicted-set correlation (compare with Figure 8)"))
+    print(
+        f"\ncorrect by all three: {breakdown.fraction_all_three():.1f}%   "
+        f"fcm only: {breakdown.fraction_only_fcm():.1f}%   "
+        f"unpredicted: {breakdown.overall['np']:.1f}%\n"
+    )
+
+    # --- Step 2: where does the fcm advantage live? ----------------------- #
+    curve = improvement_curve(base, fcm_name="fcm3", stride_name="s2")
+    print(
+        f"{curve.improving_static_instructions} static instructions improve under fcm; "
+        f"the top 20% of them deliver {curve.improvement_at(20):.1f}% of the total "
+        "improvement (compare with Figure 9)\n"
+    )
+
+    # --- Step 3: build the hybrid ------------------------------------------ #
+    hybrid = simulate_trace(
+        trace, ("s2", "fcm3", "hybrid-s2-fcm3", "hybrid-type-s2-fcm3", "hybrid-oracle")
+    )
+    rows = [[name, hybrid.results[name].accuracy] for name in hybrid.predictor_names]
+    print(format_table(["predictor", "accuracy %"], rows,
+                       title="Hybrid predictors vs their components"))
+    print(
+        "\nThe PC-chooser hybrid approaches the oracle bound while consulting the "
+        "expensive fcm tables only for the instructions that need them."
+    )
+
+
+if __name__ == "__main__":
+    main()

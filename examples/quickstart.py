@@ -1,0 +1,80 @@
+"""Quickstart: value predictors on sequences and on a real workload trace.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example walks through the three layers of the library:
+
+1. feed hand-written value sequences (Section 1.1 of the paper) to individual
+   predictors and look at their learning behaviour,
+2. trace a synthetic SPEC95int workload on the ISA substrate, and
+3. simulate the paper's predictor line-up over that trace and print
+   per-category accuracy, as Figures 3-7 do.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    PAPER_PREDICTORS,
+    SequenceClass,
+    create_predictor,
+    generate_sequence,
+    get_workload,
+    measure_learning,
+    simulate_trace,
+)
+from repro.isa.opcodes import REPORTED_CATEGORIES
+from repro.reporting.tables import format_table
+
+
+def sequence_demo() -> None:
+    """Measure learning time / learning degree on the Section 1.1 sequences."""
+    print("=== 1. Predictors on the paper's sequence classes ===")
+    rows = []
+    for sequence_class in SequenceClass:
+        values = generate_sequence(sequence_class, length=64, period=4)
+        row = [sequence_class.value]
+        for name in ("l", "s2", "fcm3"):
+            profile = measure_learning(create_predictor(name), values)
+            row.append(profile.learning_time)
+            row.append(profile.learning_degree)
+        rows.append(row)
+    headers = ["sequence", "L: LT", "L: LD%", "S2: LT", "S2: LD%", "FCM3: LT", "FCM3: LD%"]
+    print(format_table(headers, rows, title="Learning behaviour (compare with Table 1)"))
+    print()
+
+
+def workload_demo() -> None:
+    """Trace one benchmark and simulate the paper's predictors over it."""
+    print("=== 2. Tracing the synthetic 'compress' workload ===")
+    workload = get_workload("compress")
+    trace = workload.trace(scale=0.5)
+    stats = trace.statistics()
+    print(
+        f"collected {stats.predicted_instructions} predicted instructions out of "
+        f"{stats.total_dynamic_instructions} dynamic instructions "
+        f"({100 * stats.fraction_predicted:.1f}% predicted)"
+    )
+    print()
+
+    print("=== 3. Simulating the paper's predictor line-up ===")
+    result = simulate_trace(trace, PAPER_PREDICTORS)
+    headers = ["predictor", "overall %"] + [category.value for category in REPORTED_CATEGORIES]
+    rows = []
+    for name in result.predictor_names:
+        predictor_result = result.results[name]
+        rows.append(
+            [name, predictor_result.accuracy]
+            + [predictor_result.category_accuracy(category) for category in REPORTED_CATEGORIES]
+        )
+    print(format_table(headers, rows, title="compress: prediction accuracy (compare with Figure 3)"))
+
+
+def main() -> None:
+    sequence_demo()
+    workload_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Run with::
+
+    python examples/reproduce_paper.py [scale]
+
+The optional ``scale`` argument (default 1.0) multiplies the synthetic
+workloads' loop trip counts; larger scales take longer but move every
+predictor deeper into steady state.  The output of this script is what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.reporting.experiments import ALL_EXPERIMENTS, run_experiment
+
+#: Experiments that accept a scale parameter (the suite-wide ones).
+_SCALED = {
+    "table2", "table4", "table5", "table6", "table7",
+    "figure3", "figure4_7", "figure8", "figure9", "figure10", "figure11",
+}
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    started = time.time()
+    for identifier in sorted(ALL_EXPERIMENTS):
+        kwargs = {"scale": scale} if identifier in _SCALED else {}
+        artifact = run_experiment(identifier, **kwargs)
+        print(f"\n{'=' * 78}\n{identifier}: {artifact.title}\n{'=' * 78}")
+        print(artifact.render())
+    print(f"\nAll experiments regenerated in {time.time() - started:.1f}s at scale {scale}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment this repository targets has no network access and no
+``wheel`` package, so PEP 660 editable wheels cannot be built.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,141 @@
+"""Command-line front end: ``repro-vp`` / ``python -m repro``.
+
+Subcommands
+-----------
+``experiments``
+    Regenerate one, several or all of the paper's tables and figures.
+``simulate``
+    Run a chosen set of predictors over one benchmark and print accuracy.
+``workloads`` / ``predictors``
+    List the available benchmarks and predictor configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.registry import PAPER_PREDICTORS, available_predictors
+from repro.isa.opcodes import REPORTED_CATEGORIES
+from repro.reporting.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.reporting.tables import format_table
+from repro.simulation.campaign import DEFAULT_SCALE, QUICK_SCALE
+from repro.simulation.simulator import simulate_trace
+from repro.workloads.suite import BENCHMARK_ORDER, get_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-vp",
+        description="Reproduction of 'The Predictability of Data Values' (MICRO-30, 1997)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "names",
+        nargs="*",
+        default=[],
+        help=f"experiment identifiers (default: all of {', '.join(sorted(ALL_EXPERIMENTS))})",
+    )
+    experiments.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=f"workload scale factor (default {DEFAULT_SCALE}; --quick uses {QUICK_SCALE})",
+    )
+    experiments.add_argument(
+        "--quick", action="store_true", help="use the reduced quick-run scale"
+    )
+
+    simulate = subparsers.add_parser("simulate", help="simulate predictors over one benchmark")
+    simulate.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    simulate.add_argument(
+        "--predictors",
+        nargs="+",
+        default=list(PAPER_PREDICTORS),
+        help="predictor names (see the 'predictors' subcommand)",
+    )
+    simulate.add_argument("--scale", type=float, default=QUICK_SCALE)
+    simulate.add_argument("--input", default=None, help="named input set for the benchmark")
+
+    subparsers.add_parser("workloads", help="list the available benchmarks")
+    subparsers.add_parser("predictors", help="list the available predictor configurations")
+    return parser
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    names = args.names or sorted(ALL_EXPERIMENTS)
+    scale = QUICK_SCALE if args.quick and args.scale is None else args.scale
+    for name in names:
+        kwargs = {}
+        factory = ALL_EXPERIMENTS.get(name)
+        if factory is None:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        if "scale" in factory.__code__.co_varnames and scale is not None:
+            kwargs["scale"] = scale
+        artifact = run_experiment(name, **kwargs)
+        print(artifact.render())
+        print()
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    workload = get_workload(args.benchmark)
+    trace = workload.trace(scale=args.scale, input_name=args.input)
+    result = simulate_trace(trace, tuple(args.predictors))
+    rows = []
+    for name in result.predictor_names:
+        predictor_result = result.results[name]
+        row: list[object] = [name, predictor_result.accuracy]
+        for category in REPORTED_CATEGORIES:
+            row.append(predictor_result.category_accuracy(category))
+        rows.append(row)
+    headers = ["predictor", "overall (%)"] + [category.value for category in REPORTED_CATEGORIES]
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"{args.benchmark}: {len(trace)} predicted instructions (scale {args.scale})",
+        )
+    )
+    return 0
+
+
+def _command_workloads() -> int:
+    rows = []
+    for name in BENCHMARK_ORDER:
+        workload = get_workload(name)
+        rows.append([name, ", ".join(workload.input_sets), workload.description])
+    print(format_table(["benchmark", "inputs", "description"], rows, title="Synthetic SPEC95int suite"))
+    return 0
+
+
+def _command_predictors() -> int:
+    rows = [[name, "paper line-up" if name in PAPER_PREDICTORS else ""] for name in available_predictors()]
+    print(format_table(["predictor", "note"], rows, title="Registered predictors"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by both the console script and ``python -m repro``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        return _command_experiments(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "workloads":
+        return _command_workloads()
+    if args.command == "predictors":
+        return _command_predictors()
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Value predictors — the paper's primary contribution.
+
+Two families are implemented, exactly following Section 2 of the paper:
+
+* **Computational predictors** compute the next value from previous values:
+  :class:`LastValuePredictor` (identity function, with optional hysteresis)
+  and the stride family (:class:`SimpleStridePredictor`,
+  :class:`CounterStridePredictor`, :class:`TwoDeltaStridePredictor`).
+* **Context-based predictors** learn which values follow a finite ordered
+  sequence of previous values: :class:`FcmPredictor` (a single order-*k*
+  finite context method) and :class:`BlendedFcmPredictor` (orders 0..*k*
+  combined with blending and lazy exclusion — the configuration the paper
+  simulates).
+
+:class:`HybridPredictor` combines component predictors through a chooser, the
+direction the paper's Section 4.2 motivates for future work.
+
+All predictors are *unbounded* (one table entry per static PC, no aliasing)
+and are updated immediately with the true value after each prediction,
+matching the paper's idealised methodology.
+"""
+
+from repro.core.base import ValuePredictor, Prediction, PredictorStats
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import (
+    SimpleStridePredictor,
+    CounterStridePredictor,
+    TwoDeltaStridePredictor,
+)
+from repro.core.fcm import FcmPredictor
+from repro.core.blending import BlendedFcmPredictor
+from repro.core.hybrid import (
+    HybridPredictor,
+    ChooserPolicy,
+    PcChooser,
+    CategoryChooser,
+    OracleChooser,
+)
+from repro.core.registry import (
+    available_predictors,
+    create_predictor,
+    register_predictor,
+    PAPER_PREDICTORS,
+)
+
+__all__ = [
+    "ValuePredictor",
+    "Prediction",
+    "PredictorStats",
+    "LastValuePredictor",
+    "SimpleStridePredictor",
+    "CounterStridePredictor",
+    "TwoDeltaStridePredictor",
+    "FcmPredictor",
+    "BlendedFcmPredictor",
+    "HybridPredictor",
+    "ChooserPolicy",
+    "PcChooser",
+    "CategoryChooser",
+    "OracleChooser",
+    "available_predictors",
+    "create_predictor",
+    "register_predictor",
+    "PAPER_PREDICTORS",
+]

@@ -1,0 +1,143 @@
+"""Common interface for all value predictors.
+
+The paper restricts predictors to a fundamental class: the prediction table
+is indexed only by the program counter of the instruction being predicted,
+tables are unbounded (no aliasing between static instructions), and tables
+are updated immediately with the correct value after every prediction.  The
+:class:`ValuePredictor` interface encodes exactly that contract.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Category
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Outcome of querying a predictor for one dynamic instruction.
+
+    Attributes
+    ----------
+    value:
+        The predicted value, or ``None`` when the predictor declines to
+        predict (e.g. an FCM predictor whose context has never been seen).
+    confident:
+        ``True`` when a concrete value was produced.  A ``None`` value is
+        always counted as an incorrect prediction by the simulator, matching
+        the paper's accounting (accuracy = correct predictions / all
+        predicted instructions).
+    """
+
+    value: int | None
+
+    @property
+    def confident(self) -> bool:
+        return self.value is not None
+
+    def is_correct(self, actual: int) -> bool:
+        """Return ``True`` if this prediction matches the actual value."""
+        return self.value is not None and self.value == actual
+
+
+#: Singleton used when a predictor has nothing to say.
+NO_PREDICTION = Prediction(value=None)
+
+
+@dataclass
+class PredictorStats:
+    """Lightweight self-reported statistics for a predictor instance."""
+
+    lookups: int = 0
+    updates: int = 0
+    correct: int = 0
+    no_prediction: int = 0
+    per_category_correct: dict[Category, int] = field(default_factory=dict)
+    per_category_lookups: dict[Category, int] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of lookups that produced a correct prediction."""
+        if self.lookups == 0:
+            return 0.0
+        return self.correct / self.lookups
+
+    def record(self, prediction: Prediction, actual: int, category: Category | None) -> bool:
+        """Account for one prediction/outcome pair; returns correctness."""
+        self.lookups += 1
+        correct = prediction.is_correct(actual)
+        if correct:
+            self.correct += 1
+        if not prediction.confident:
+            self.no_prediction += 1
+        if category is not None:
+            self.per_category_lookups[category] = self.per_category_lookups.get(category, 0) + 1
+            if correct:
+                self.per_category_correct[category] = (
+                    self.per_category_correct.get(category, 0) + 1
+                )
+        return correct
+
+
+class ValuePredictor(abc.ABC):
+    """Abstract base class for PC-indexed, unbounded value predictors."""
+
+    #: Short machine-readable name, overridden by subclasses.
+    name: str = "predictor"
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    # ------------------------------------------------------------------ #
+    # Core interface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def predict(self, pc: int, category: Category | None = None) -> Prediction:
+        """Return the prediction for the next value produced at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, actual: int, category: Category | None = None) -> None:
+        """Update the table entry for ``pc`` with the true value ``actual``."""
+
+    def observe(self, pc: int, actual: int, category: Category | None = None) -> bool:
+        """Predict, score, and immediately update — one trace record.
+
+        This is the paper's simulation loop for a single dynamic instruction:
+        the prediction is made, compared against the actual value, and the
+        table is updated immediately with the actual value.  Returns whether
+        the prediction was correct.
+        """
+        prediction = self.predict(pc, category)
+        correct = self.stats.record(prediction, actual, category)
+        self.stats.updates += 1
+        self.update(pc, actual, category)
+        return correct
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def table_entries(self) -> int:
+        """Number of per-PC table entries currently allocated."""
+
+    def storage_cells(self) -> int:
+        """Rough count of stored scalar cells (values, strides, counters).
+
+        Used by capacity-oriented analyses; subclasses override when they
+        keep more than one cell per entry.
+        """
+        return self.table_entries()
+
+    def reset(self) -> None:
+        """Forget all learned state and statistics."""
+        self.stats = PredictorStats()
+        self._reset_tables()
+
+    @abc.abstractmethod
+    def _reset_tables(self) -> None:
+        """Subclass hook: clear prediction tables."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, entries={self.table_entries()})"

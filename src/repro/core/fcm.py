@@ -1,0 +1,141 @@
+"""Finite context method (FCM) prediction (Section 2.2 of the paper).
+
+An order-*k* FCM predictor keeps, for each static instruction, the *k* most
+recently produced values (the *context*) and a table of counters recording
+which values have followed each context.  The prediction is the value with
+the maximum count for the current context.  The paper's simulated
+configuration maintains *exact* counts; the small-saturating-counter variant
+(counts halved when one reaches a maximum, weighting recent history more
+heavily) is also implemented for the ablation benchmarks.
+
+Contexts are formed by *full concatenation* of the history values — i.e. the
+context key is the exact tuple of previous values, so there is no context
+aliasing, matching the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.base import NO_PREDICTION, Prediction, ValuePredictor
+from repro.errors import PredictorConfigError
+from repro.isa.opcodes import Category
+
+
+@dataclass
+class _FcmEntry:
+    """Per-PC state of an order-k FCM predictor."""
+
+    history: list[int] = field(default_factory=list)
+    # context tuple -> {next value -> count}
+    counts: dict[tuple[int, ...], dict[int, int]] = field(default_factory=dict)
+    # context tuple -> value most recently observed after that context
+    # (used to break count ties deterministically in favour of recency).
+    recent: dict[tuple[int, ...], int] = field(default_factory=dict)
+
+
+def select_maximum_count(counts: dict[int, int], recent_value: int | None) -> int:
+    """Return the value with the maximum count, preferring the most recent on ties."""
+    best_value = None
+    best_count = -1
+    for value, count in counts.items():
+        if count > best_count:
+            best_value, best_count = value, count
+        elif count == best_count and recent_value is not None and value == recent_value:
+            best_value = value
+    return best_value
+
+
+class FcmPredictor(ValuePredictor):
+    """A single, fixed-order finite context method predictor.
+
+    Parameters
+    ----------
+    order:
+        Number of preceding values forming the context (>= 0).  Order 0
+        degenerates to a per-PC frequency count over all produced values.
+    counter_max:
+        ``None`` keeps exact counts (the paper's configuration).  A positive
+        integer enables the small-counter variant: when any count for a
+        context reaches ``counter_max``, every count for that context is
+        halved, giving more weight to recent history.
+    """
+
+    def __init__(self, order: int, counter_max: int | None = None) -> None:
+        super().__init__()
+        if order < 0:
+            raise PredictorConfigError("order must be non-negative")
+        if counter_max is not None and counter_max < 2:
+            raise PredictorConfigError("counter_max must be at least 2 when given")
+        self.order = order
+        self.counter_max = counter_max
+        self.name = f"fcm{order}-single"
+        self._table: dict[int, _FcmEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # ValuePredictor interface
+    # ------------------------------------------------------------------ #
+    def predict(self, pc: int, category: Category | None = None) -> Prediction:
+        entry = self._table.get(pc)
+        if entry is None or len(entry.history) < self.order:
+            return NO_PREDICTION
+        context = tuple(entry.history[-self.order :]) if self.order else ()
+        counts = entry.counts.get(context)
+        if not counts:
+            return NO_PREDICTION
+        return Prediction(select_maximum_count(counts, entry.recent.get(context)))
+
+    def update(self, pc: int, actual: int, category: Category | None = None) -> None:
+        entry = self._table.get(pc)
+        if entry is None:
+            entry = _FcmEntry()
+            self._table[pc] = entry
+        if len(entry.history) >= self.order:
+            context = tuple(entry.history[-self.order :]) if self.order else ()
+            counts = entry.counts.setdefault(context, {})
+            counts[actual] = counts.get(actual, 0) + 1
+            entry.recent[context] = actual
+            if self.counter_max is not None and counts[actual] >= self.counter_max:
+                for value in list(counts):
+                    counts[value] = max(1, counts[value] // 2)
+        self._push_history(entry, actual)
+
+    def table_entries(self) -> int:
+        return len(self._table)
+
+    def storage_cells(self) -> int:
+        cells = 0
+        for entry in self._table.values():
+            cells += len(entry.history)
+            for counts in entry.counts.values():
+                cells += 2 * len(counts)
+        return cells
+
+    def _reset_tables(self) -> None:
+        self._table.clear()
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by analyses and tests
+    # ------------------------------------------------------------------ #
+    def contexts_for(self, pc: int) -> dict[tuple[int, ...], dict[int, int]]:
+        """Return a copy of the context->counts table for one static PC."""
+        entry = self._table.get(pc)
+        if entry is None:
+            return {}
+        return {context: dict(counts) for context, counts in entry.counts.items()}
+
+    def history_for(self, pc: int) -> tuple[int, ...]:
+        """Return the current history (most recent last) for one static PC."""
+        entry = self._table.get(pc)
+        if entry is None:
+            return ()
+        return tuple(entry.history)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _push_history(self, entry: _FcmEntry, actual: int) -> None:
+        history = entry.history
+        history.append(actual)
+        if len(history) > self.order:
+            del history[: len(history) - self.order]

@@ -1,0 +1,240 @@
+"""Hybrid value predictors (the direction motivated by Section 4.2).
+
+The paper's set-correlation analysis (Figure 8) shows that a stride predictor
+captures most correct predictions cheaply while an FCM predictor contributes
+a further ~20% that nothing else catches, and its Figure 9 shows the FCM
+advantage is concentrated in a small fraction of static instructions.  Both
+observations point at hybrid predictors with a chooser.  This module provides
+that construction:
+
+* :class:`PcChooser` — per-PC saturating scores, one per component, trained
+  on which component has been correct at that PC (the analogue of
+  McFarling-style choosers for branch predictors).
+* :class:`CategoryChooser` — a static mapping from instruction category to
+  component (e.g. stride for AddSub, FCM for everything else), following the
+  paper's observation that computational predictors work best when their
+  operation matches the instruction's operation.
+* :class:`OracleChooser` — an idealised chooser that always picks a correct
+  component when one exists; it bounds what any hybrid of the given
+  components could achieve.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.base import NO_PREDICTION, Prediction, ValuePredictor
+from repro.errors import PredictorConfigError
+from repro.isa.opcodes import Category
+
+
+class ChooserPolicy(abc.ABC):
+    """Selects which component of a hybrid supplies the prediction."""
+
+    @abc.abstractmethod
+    def select(
+        self, pc: int, category: Category | None, predictions: Sequence[Prediction]
+    ) -> int:
+        """Return the index of the component whose prediction to use."""
+
+    def train(
+        self,
+        pc: int,
+        category: Category | None,
+        predictions: Sequence[Prediction],
+        actual: int,
+    ) -> None:
+        """Observe the true value and adapt future selections (optional)."""
+
+    def reset(self) -> None:
+        """Forget any learned selection state (optional)."""
+
+
+@dataclass
+class _ScoreEntry:
+    scores: list[int]
+
+
+class PcChooser(ChooserPolicy):
+    """Per-PC saturating scores; the highest-scoring component is chosen.
+
+    Ties are broken in favour of the *earlier* component in the hybrid's
+    component list, so putting the cheaper predictor first expresses the
+    paper's "use stride for most predictions, fcm for the rest" strategy.
+    """
+
+    def __init__(self, num_components: int, score_max: int = 7) -> None:
+        if num_components < 2:
+            raise PredictorConfigError("a chooser needs at least two components")
+        if score_max < 1:
+            raise PredictorConfigError("score_max must be positive")
+        self.num_components = num_components
+        self.score_max = score_max
+        self._table: dict[int, _ScoreEntry] = {}
+
+    def select(
+        self, pc: int, category: Category | None, predictions: Sequence[Prediction]
+    ) -> int:
+        entry = self._table.get(pc)
+        if entry is None:
+            return 0
+        best_index = 0
+        best_score = entry.scores[0]
+        for index in range(1, len(entry.scores)):
+            if entry.scores[index] > best_score:
+                best_index, best_score = index, entry.scores[index]
+        return best_index
+
+    def train(
+        self,
+        pc: int,
+        category: Category | None,
+        predictions: Sequence[Prediction],
+        actual: int,
+    ) -> None:
+        entry = self._table.get(pc)
+        if entry is None:
+            entry = _ScoreEntry(scores=[0] * self.num_components)
+            self._table[pc] = entry
+        for index, prediction in enumerate(predictions):
+            if prediction.is_correct(actual):
+                entry.scores[index] = min(self.score_max, entry.scores[index] + 1)
+            else:
+                entry.scores[index] = max(0, entry.scores[index] - 1)
+
+    def reset(self) -> None:
+        self._table.clear()
+
+    def table_entries(self) -> int:
+        return len(self._table)
+
+
+class CategoryChooser(ChooserPolicy):
+    """Choose the component statically by instruction category."""
+
+    def __init__(self, mapping: dict[Category, int], default: int = 0) -> None:
+        if default < 0:
+            raise PredictorConfigError("default component index must be non-negative")
+        self.mapping = dict(mapping)
+        self.default = default
+
+    def select(
+        self, pc: int, category: Category | None, predictions: Sequence[Prediction]
+    ) -> int:
+        if category is None:
+            return self.default
+        return self.mapping.get(category, self.default)
+
+
+class OracleChooser(ChooserPolicy):
+    """Idealised chooser: the hybrid is correct if *any* component is.
+
+    ``select`` cannot see the actual value, so outside of
+    :meth:`HybridPredictor.observe` it simply returns the first confident
+    component; the oracle behaviour applies to accuracy accounting only.
+    """
+
+    def select(
+        self, pc: int, category: Category | None, predictions: Sequence[Prediction]
+    ) -> int:
+        for index, prediction in enumerate(predictions):
+            if prediction.confident:
+                return index
+        return 0
+
+
+@dataclass
+class HybridComponent:
+    """A named component of a hybrid predictor."""
+
+    name: str
+    predictor: ValuePredictor
+    selections: int = 0
+    correct_when_selected: int = 0
+
+
+class HybridPredictor(ValuePredictor):
+    """Combine several component predictors through a chooser policy."""
+
+    def __init__(
+        self,
+        components: Sequence[ValuePredictor],
+        chooser: ChooserPolicy,
+        name: str | None = None,
+    ) -> None:
+        super().__init__()
+        if len(components) < 2:
+            raise PredictorConfigError("a hybrid predictor needs at least two components")
+        self.components = [
+            HybridComponent(name=component.name, predictor=component) for component in components
+        ]
+        self.chooser = chooser
+        self.name = name or "hybrid-" + "+".join(component.name for component in components)
+
+    # ------------------------------------------------------------------ #
+    # ValuePredictor interface
+    # ------------------------------------------------------------------ #
+    def predict(self, pc: int, category: Category | None = None) -> Prediction:
+        predictions = [
+            component.predictor.predict(pc, category) for component in self.components
+        ]
+        index = self.chooser.select(pc, category, predictions)
+        if not 0 <= index < len(predictions):
+            return NO_PREDICTION
+        return predictions[index]
+
+    def update(self, pc: int, actual: int, category: Category | None = None) -> None:
+        predictions = [
+            component.predictor.predict(pc, category) for component in self.components
+        ]
+        self.chooser.train(pc, category, predictions, actual)
+        for component in self.components:
+            component.predictor.update(pc, actual, category)
+
+    def observe(self, pc: int, actual: int, category: Category | None = None) -> bool:
+        predictions = [
+            component.predictor.predict(pc, category) for component in self.components
+        ]
+        if isinstance(self.chooser, OracleChooser):
+            correct = any(prediction.is_correct(actual) for prediction in predictions)
+            chosen = Prediction(actual) if correct else NO_PREDICTION
+            selected_index = next(
+                (i for i, p in enumerate(predictions) if p.is_correct(actual)),
+                0,
+            )
+        else:
+            selected_index = self.chooser.select(pc, category, predictions)
+            chosen = predictions[selected_index]
+            correct = chosen.is_correct(actual)
+        component = self.components[selected_index]
+        component.selections += 1
+        if correct:
+            component.correct_when_selected += 1
+        self.stats.record(chosen, actual, category)
+        self.stats.updates += 1
+        self.chooser.train(pc, category, predictions, actual)
+        for entry in self.components:
+            entry.predictor.update(pc, actual, category)
+        return correct
+
+    def table_entries(self) -> int:
+        return max(component.predictor.table_entries() for component in self.components)
+
+    def storage_cells(self) -> int:
+        return sum(component.predictor.storage_cells() for component in self.components)
+
+    def _reset_tables(self) -> None:
+        for component in self.components:
+            component.predictor.reset()
+            component.selections = 0
+            component.correct_when_selected = 0
+        self.chooser.reset()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def selection_breakdown(self) -> dict[str, int]:
+        """How many times each component was chosen (via :meth:`observe`)."""
+        return {component.name: component.selections for component in self.components}

@@ -1,0 +1,143 @@
+"""Last value prediction (Section 2.1 of the paper).
+
+The simplest computational predictor: the identity function on the previous
+value.  The paper's simulations use the *always-update* policy (no
+hysteresis); the two hysteresis variants described in the text are also
+implemented so they can be compared in ablation benchmarks:
+
+* ``counter`` hysteresis — a saturating counter per entry, incremented on a
+  correct prediction and decremented on an incorrect one; the stored value is
+  replaced only when the counter is below a threshold.  This changes the
+  prediction *after* incorrect behaviour, even if that behaviour is
+  inconsistent.
+* ``consecutive`` hysteresis — the stored value is replaced only after the
+  new value has been observed a given number of times in succession, i.e. the
+  prediction changes only once the new behaviour is consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import NO_PREDICTION, Prediction, ValuePredictor
+from repro.errors import PredictorConfigError
+from repro.isa.opcodes import Category
+
+#: Supported hysteresis policies.
+HYSTERESIS_POLICIES = ("always", "counter", "consecutive")
+
+
+@dataclass
+class _LastValueEntry:
+    """Per-PC state for last value prediction."""
+
+    value: int
+    counter: int = 0
+    candidate: int | None = None
+    candidate_run: int = 0
+
+
+class LastValuePredictor(ValuePredictor):
+    """Predict that an instruction repeats its most recent value.
+
+    Parameters
+    ----------
+    hysteresis:
+        One of ``"always"`` (replace on every update — the paper's simulated
+        configuration), ``"counter"`` or ``"consecutive"``.
+    counter_max:
+        Saturation limit of the hysteresis counter (``counter`` policy).
+    counter_threshold:
+        The stored value is replaced only when the counter is strictly below
+        this threshold (``counter`` policy).
+    required_run:
+        Number of consecutive occurrences of a new value required before the
+        stored value is replaced (``consecutive`` policy).
+    """
+
+    name = "last-value"
+
+    def __init__(
+        self,
+        hysteresis: str = "always",
+        counter_max: int = 3,
+        counter_threshold: int = 2,
+        required_run: int = 2,
+    ) -> None:
+        super().__init__()
+        if hysteresis not in HYSTERESIS_POLICIES:
+            raise PredictorConfigError(
+                f"unknown hysteresis policy {hysteresis!r}; expected one of {HYSTERESIS_POLICIES}"
+            )
+        if counter_max < 1:
+            raise PredictorConfigError("counter_max must be at least 1")
+        if not 0 < counter_threshold <= counter_max:
+            raise PredictorConfigError("counter_threshold must be in (0, counter_max]")
+        if required_run < 1:
+            raise PredictorConfigError("required_run must be at least 1")
+        self.hysteresis = hysteresis
+        self.counter_max = counter_max
+        self.counter_threshold = counter_threshold
+        self.required_run = required_run
+        if hysteresis != "always":
+            self.name = f"last-value-{hysteresis}"
+        self._table: dict[int, _LastValueEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # ValuePredictor interface
+    # ------------------------------------------------------------------ #
+    def predict(self, pc: int, category: Category | None = None) -> Prediction:
+        entry = self._table.get(pc)
+        if entry is None:
+            return NO_PREDICTION
+        return Prediction(entry.value)
+
+    def update(self, pc: int, actual: int, category: Category | None = None) -> None:
+        entry = self._table.get(pc)
+        if entry is None:
+            self._table[pc] = _LastValueEntry(value=actual)
+            return
+        if self.hysteresis == "always":
+            entry.value = actual
+        elif self.hysteresis == "counter":
+            self._update_counter(entry, actual)
+        else:
+            self._update_consecutive(entry, actual)
+
+    def table_entries(self) -> int:
+        return len(self._table)
+
+    def storage_cells(self) -> int:
+        # One value plus (for hysteresis policies) one counter per entry.
+        cells_per_entry = 1 if self.hysteresis == "always" else 2
+        return cells_per_entry * len(self._table)
+
+    def _reset_tables(self) -> None:
+        self._table.clear()
+
+    # ------------------------------------------------------------------ #
+    # Hysteresis policies
+    # ------------------------------------------------------------------ #
+    def _update_counter(self, entry: _LastValueEntry, actual: int) -> None:
+        if entry.value == actual:
+            entry.counter = min(self.counter_max, entry.counter + 1)
+            return
+        entry.counter = max(0, entry.counter - 1)
+        if entry.counter < self.counter_threshold:
+            entry.value = actual
+            entry.counter = 0
+
+    def _update_consecutive(self, entry: _LastValueEntry, actual: int) -> None:
+        if entry.value == actual:
+            entry.candidate = None
+            entry.candidate_run = 0
+            return
+        if entry.candidate == actual:
+            entry.candidate_run += 1
+        else:
+            entry.candidate = actual
+            entry.candidate_run = 1
+        if entry.candidate_run >= self.required_run:
+            entry.value = actual
+            entry.candidate = None
+            entry.candidate_run = 0

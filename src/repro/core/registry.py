@@ -1,0 +1,132 @@
+"""Registry of named predictor configurations.
+
+Experiments, benchmarks and the command line refer to predictors by short
+names (``"l"``, ``"s2"``, ``"fcm3"``, ...).  The registry maps those names to
+factories producing fresh predictor instances.  The set
+:data:`PAPER_PREDICTORS` lists the five configurations simulated throughout
+the paper's evaluation (Figures 3-7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import ValuePredictor
+from repro.core.blending import BlendedFcmPredictor
+from repro.core.fcm import FcmPredictor
+from repro.core.hybrid import CategoryChooser, HybridPredictor, OracleChooser, PcChooser
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import (
+    CounterStridePredictor,
+    SimpleStridePredictor,
+    TwoDeltaStridePredictor,
+)
+from repro.errors import PredictorConfigError, UnknownPredictorError
+from repro.isa.opcodes import Category
+
+PredictorFactory = Callable[[], ValuePredictor]
+
+#: The predictor line-up used in the paper's main results (Figures 3-7):
+#: last value (always update), two-delta stride, and blended FCM of orders
+#: 1, 2 and 3.
+PAPER_PREDICTORS: tuple[str, ...] = ("l", "s2", "fcm1", "fcm2", "fcm3")
+
+_REGISTRY: dict[str, PredictorFactory] = {}
+
+
+def register_predictor(name: str, factory: PredictorFactory, overwrite: bool = False) -> None:
+    """Register a new named predictor configuration.
+
+    Raises :class:`PredictorConfigError` if the name is already taken and
+    ``overwrite`` is not set.
+    """
+    if not overwrite and name in _REGISTRY:
+        raise PredictorConfigError(f"predictor name {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_predictors() -> tuple[str, ...]:
+    """Return all registered predictor names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_predictor(name: str) -> ValuePredictor:
+    """Instantiate a fresh predictor by registered name.
+
+    In addition to the registered names, ``fcmN`` / ``fcmN-single`` /
+    ``fcmN-small`` are accepted for any non-negative order ``N``.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is not None:
+        return factory()
+    dynamic = _dynamic_fcm(name)
+    if dynamic is not None:
+        return dynamic
+    raise UnknownPredictorError(
+        f"unknown predictor {name!r}; known names: {', '.join(available_predictors())}"
+    )
+
+
+def _dynamic_fcm(name: str) -> ValuePredictor | None:
+    """Support arbitrary-order fcm names without pre-registering each order."""
+    for suffix, builder in (
+        ("-single", lambda order: FcmPredictor(order=order)),
+        ("-small", lambda order: BlendedFcmPredictor(order=order, counter_max=16)),
+        ("-full", lambda order: BlendedFcmPredictor(order=order, update_policy="full")),
+        ("", lambda order: BlendedFcmPredictor(order=order)),
+    ):
+        if name.startswith("fcm") and name.endswith(suffix):
+            digits = name[len("fcm") : len(name) - len(suffix) if suffix else len(name)]
+            if digits.isdigit():
+                return builder(int(digits))
+    return None
+
+
+def _make_stride_fcm_hybrid() -> ValuePredictor:
+    components = [TwoDeltaStridePredictor(), BlendedFcmPredictor(order=3)]
+    return HybridPredictor(components, PcChooser(num_components=2), name="hybrid-s2-fcm3")
+
+
+def _make_category_hybrid() -> ValuePredictor:
+    components = [TwoDeltaStridePredictor(), BlendedFcmPredictor(order=3)]
+    mapping = {
+        Category.ADDSUB: 0,
+        Category.LOADS: 1,
+        Category.LOGIC: 1,
+        Category.SHIFT: 1,
+        Category.SET: 1,
+        Category.MULTDIV: 0,
+        Category.LUI: 0,
+        Category.OTHER: 0,
+    }
+    return HybridPredictor(
+        components, CategoryChooser(mapping, default=1), name="hybrid-type-s2-fcm3"
+    )
+
+
+def _make_oracle_hybrid() -> ValuePredictor:
+    components = [
+        LastValuePredictor(),
+        TwoDeltaStridePredictor(),
+        BlendedFcmPredictor(order=3),
+    ]
+    return HybridPredictor(components, OracleChooser(), name="hybrid-oracle-l-s2-fcm3")
+
+
+def _register_builtin_predictors() -> None:
+    register_predictor("l", LastValuePredictor)
+    register_predictor("last-value", LastValuePredictor)
+    register_predictor("lv-counter", lambda: LastValuePredictor(hysteresis="counter"))
+    register_predictor("lv-consecutive", lambda: LastValuePredictor(hysteresis="consecutive"))
+    register_predictor("s", SimpleStridePredictor)
+    register_predictor("stride", SimpleStridePredictor)
+    register_predictor("stride-counter", CounterStridePredictor)
+    register_predictor("s2", TwoDeltaStridePredictor)
+    for order in range(0, 9):
+        register_predictor(f"fcm{order}", lambda order=order: BlendedFcmPredictor(order=order))
+    register_predictor("hybrid-s2-fcm3", _make_stride_fcm_hybrid)
+    register_predictor("hybrid-type-s2-fcm3", _make_category_hybrid)
+    register_predictor("hybrid-oracle", _make_oracle_hybrid)
+
+
+_register_builtin_predictors()

@@ -1,0 +1,155 @@
+"""Stride prediction (Section 2.1 of the paper).
+
+A stride predictor predicts ``last_value + stride``.  Three update policies
+from the paper are implemented:
+
+* :class:`SimpleStridePredictor` — the stride is always the difference of the
+  two most recent values (no hysteresis).  On a repeated stride sequence this
+  mispredicts twice per iteration.
+* :class:`CounterStridePredictor` — the stride is only replaced when a
+  saturating success/failure counter falls below a threshold (the policy of
+  Gonzalez & Gonzalez cited by the paper).  One misprediction per iteration
+  of a repeated stride sequence.
+* :class:`TwoDeltaStridePredictor` — the two-delta method of Eickemeyer &
+  Vassiliadis: stride ``s1`` always tracks the most recent difference, and
+  the prediction stride ``s2`` is updated only when the same ``s1`` occurs
+  twice in a row.  This is the ``s2`` configuration the paper simulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import NO_PREDICTION, Prediction, ValuePredictor
+from repro.errors import PredictorConfigError
+from repro.isa.opcodes import Category
+from repro.isa.registers import wrap_value
+
+
+@dataclass
+class _StrideEntry:
+    """Per-PC state shared by all stride predictor variants."""
+
+    last_value: int
+    stride: int | None = None
+    # Extra fields used by specific policies.
+    counter: int = 0
+    transient_stride: int | None = None
+
+
+class _StridePredictorBase(ValuePredictor):
+    """Shared prediction logic: predict ``last_value + stride``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._table: dict[int, _StrideEntry] = {}
+
+    def predict(self, pc: int, category: Category | None = None) -> Prediction:
+        entry = self._table.get(pc)
+        if entry is None:
+            return NO_PREDICTION
+        if entry.stride is None:
+            # Only one value seen so far: fall back to last-value behaviour,
+            # which is what a hardware stride table with an invalid stride
+            # field would do (stride treated as zero).
+            return Prediction(entry.last_value)
+        return Prediction(wrap_value(entry.last_value + entry.stride))
+
+    def table_entries(self) -> int:
+        return len(self._table)
+
+    def storage_cells(self) -> int:
+        return 2 * len(self._table)
+
+    def _reset_tables(self) -> None:
+        self._table.clear()
+
+
+class SimpleStridePredictor(_StridePredictorBase):
+    """Always-update stride prediction (no hysteresis)."""
+
+    name = "stride"
+
+    def update(self, pc: int, actual: int, category: Category | None = None) -> None:
+        entry = self._table.get(pc)
+        if entry is None:
+            self._table[pc] = _StrideEntry(last_value=actual)
+            return
+        entry.stride = wrap_value(actual - entry.last_value)
+        entry.last_value = actual
+
+
+class CounterStridePredictor(_StridePredictorBase):
+    """Stride prediction gated by a saturating success/failure counter.
+
+    The stride field is replaced by the newly observed delta only when the
+    counter (incremented on correct predictions, decremented on incorrect
+    ones) is below ``threshold``.
+    """
+
+    name = "stride-counter"
+
+    def __init__(self, counter_max: int = 3, threshold: int = 2) -> None:
+        super().__init__()
+        if counter_max < 1:
+            raise PredictorConfigError("counter_max must be at least 1")
+        if not 0 < threshold <= counter_max:
+            raise PredictorConfigError("threshold must be in (0, counter_max]")
+        self.counter_max = counter_max
+        self.threshold = threshold
+
+    def update(self, pc: int, actual: int, category: Category | None = None) -> None:
+        entry = self._table.get(pc)
+        if entry is None:
+            self._table[pc] = _StrideEntry(last_value=actual)
+            return
+        observed_stride = wrap_value(actual - entry.last_value)
+        predicted = None
+        if entry.stride is not None:
+            predicted = wrap_value(entry.last_value + entry.stride)
+        elif entry.stride is None:
+            predicted = entry.last_value
+        if predicted == actual:
+            entry.counter = min(self.counter_max, entry.counter + 1)
+        else:
+            entry.counter = max(0, entry.counter - 1)
+            if entry.counter < self.threshold:
+                entry.stride = observed_stride
+        if entry.stride is None:
+            entry.stride = observed_stride
+        entry.last_value = actual
+
+    def storage_cells(self) -> int:
+        return 3 * len(self._table)
+
+
+class TwoDeltaStridePredictor(_StridePredictorBase):
+    """The two-delta stride method (the paper's ``s2`` configuration).
+
+    Two strides are kept per entry: ``s1`` (``transient_stride``) always
+    tracks the difference of the two most recent values; the prediction
+    stride ``s2`` (``stride``) is replaced by ``s1`` only when the same
+    ``s1`` value is observed twice in a row.  This yields one misprediction
+    per iteration of a repeated stride sequence and avoids perturbing the
+    prediction stride on isolated irregular deltas.
+    """
+
+    name = "s2"
+
+    def update(self, pc: int, actual: int, category: Category | None = None) -> None:
+        entry = self._table.get(pc)
+        if entry is None:
+            self._table[pc] = _StrideEntry(last_value=actual)
+            return
+        observed_stride = wrap_value(actual - entry.last_value)
+        if entry.transient_stride is not None and entry.transient_stride == observed_stride:
+            entry.stride = observed_stride
+        entry.transient_stride = observed_stride
+        if entry.stride is None:
+            # First delta ever seen: adopt it so prediction can begin after
+            # two observed values, as in the paper's learning-time analysis.
+            entry.stride = observed_stride
+        entry.last_value = actual
+
+    def storage_cells(self) -> int:
+        return 3 * len(self._table)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the value-prediction reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers embedding the library can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class PredictorError(ReproError):
+    """Raised when a value predictor is misused or misconfigured."""
+
+
+class PredictorConfigError(PredictorError):
+    """Raised when a predictor is constructed with invalid parameters."""
+
+
+class UnknownPredictorError(PredictorError):
+    """Raised when the predictor registry is asked for an unknown name."""
+
+
+class IsaError(ReproError):
+    """Base class for errors raised by the ISA substrate."""
+
+
+class InvalidRegisterError(IsaError):
+    """Raised when a register index outside the architectural file is used."""
+
+
+class InvalidInstructionError(IsaError):
+    """Raised when an instruction is malformed (bad operands, bad opcode)."""
+
+
+class MemoryError_(IsaError):
+    """Raised for invalid memory accesses (negative or misaligned address)."""
+
+
+class ProgramError(IsaError):
+    """Raised when a program is structurally invalid (e.g. unknown label)."""
+
+
+class ExecutionError(IsaError):
+    """Raised when execution cannot proceed (e.g. runaway program)."""
+
+
+class ExecutionLimitExceeded(ExecutionError):
+    """Raised when a program exceeds the dynamic instruction budget."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed traces or trace-serialisation failures."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload is configured with invalid parameters."""
+
+
+class UnknownWorkloadError(WorkloadError):
+    """Raised when the workload suite is asked for an unknown benchmark."""
+
+
+class SimulationError(ReproError):
+    """Raised when a prediction simulation is configured incorrectly."""
+
+
+class ReportingError(ReproError):
+    """Raised when experiment/report generation fails."""

@@ -1,0 +1,98 @@
+"""Instruction representation for the MIPS-like ISA.
+
+An :class:`Instruction` is a frozen dataclass; programs are simply tuples of
+instructions with PCs assigned by their position (``pc = index * 4`` to mimic
+a word-addressed instruction memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidInstructionError
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    IMMEDIATE_OPCODES,
+    Category,
+    Opcode,
+    category_of,
+    is_predicted_opcode,
+)
+
+#: Byte distance between consecutive instructions (MIPS-style word addressing).
+INSTRUCTION_SIZE = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single decoded instruction.
+
+    Parameters
+    ----------
+    opcode:
+        The operation to perform.
+    rd:
+        Destination register index (``None`` for instructions without one).
+    rs:
+        First source register index.
+    rt:
+        Second source register index.
+    imm:
+        Immediate operand (shift amounts, address offsets, constants).
+    target:
+        Symbolic label for branches/jumps; resolved to an instruction index
+        by :class:`repro.isa.program.Program`.
+    annotation:
+        Optional free-form tag used by workloads to label the role of the
+        instruction (useful when debugging synthetic kernels).
+    """
+
+    opcode: Opcode
+    rd: int | None = None
+    rs: int | None = None
+    rt: int | None = None
+    imm: int = 0
+    target: str | None = None
+    annotation: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        for name, reg in (("rd", self.rd), ("rs", self.rs), ("rt", self.rt)):
+            if reg is not None and not 0 <= reg < 32:
+                raise InvalidInstructionError(
+                    f"{self.opcode}: register operand {name}={reg} out of range [0, 32)"
+                )
+        if self.opcode in BRANCH_OPCODES and self.target is None:
+            raise InvalidInstructionError(f"{self.opcode}: branch requires a target label")
+        if self.opcode in (Opcode.J, Opcode.JAL) and self.target is None:
+            raise InvalidInstructionError(f"{self.opcode}: jump requires a target label")
+        if self.opcode is Opcode.JR and self.rs is None:
+            raise InvalidInstructionError("jr requires a source register")
+
+    @property
+    def category(self) -> Category:
+        """Reporting category of this instruction (Table 3 mapping)."""
+        return category_of(self.opcode)
+
+    @property
+    def writes_register(self) -> bool:
+        """``True`` if the instruction writes a general purpose register."""
+        return is_predicted_opcode(self.opcode) and self.rd is not None
+
+    @property
+    def uses_immediate(self) -> bool:
+        """``True`` if the second operand is an immediate rather than ``rt``."""
+        return self.opcode in IMMEDIATE_OPCODES
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        if self.rd is not None:
+            parts.append(f"r{self.rd}")
+        if self.rs is not None:
+            parts.append(f"r{self.rs}")
+        if self.rt is not None:
+            parts.append(f"r{self.rt}")
+        if self.uses_immediate or self.imm:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(self.target)
+        return " ".join(parts)

@@ -1,0 +1,332 @@
+"""The interpreter: fetch/decode/execute loop with value-trace emission.
+
+The :class:`Machine` plays the role SimpleScalar plays in the paper: it runs
+a program to completion and, for every retired instruction, reports the
+instruction's PC, opcode, category and (when one exists) its result value.
+Observers such as :class:`repro.trace.collector.TraceCollector` subscribe to
+these retirement events and build the value traces the predictors consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import ExecutionError, ExecutionLimitExceeded, InvalidInstructionError
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction
+from repro.isa.memory import SparseMemory
+from repro.isa.opcodes import Category, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import RegisterFile, to_unsigned, wrap_value
+
+#: Default dynamic-instruction budget; guards against runaway programs.
+DEFAULT_MAX_INSTRUCTIONS = 50_000_000
+
+
+@dataclass(frozen=True)
+class RetiredInstruction:
+    """A single retirement event delivered to observers.
+
+    ``value`` is ``None`` for instructions that do not write a register
+    (stores, branches, jumps, nop, halt).
+    """
+
+    serial: int
+    pc: int
+    opcode: Opcode
+    category: Category
+    value: int | None
+    annotation: str = ""
+
+
+@dataclass
+class ExecutionResult:
+    """Summary of one program execution."""
+
+    program_name: str
+    retired_instructions: int = 0
+    register_writes: int = 0
+    halted: bool = False
+    category_counts: dict[Category, int] = field(default_factory=dict)
+
+    def fraction_predicted(self) -> float:
+        """Fraction of retired instructions that wrote a register."""
+        if self.retired_instructions == 0:
+            return 0.0
+        return self.register_writes / self.retired_instructions
+
+
+RetirementObserver = Callable[[RetiredInstruction, Instruction], None]
+
+
+class Machine:
+    """Executes a :class:`Program` against a register file and memory."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: SparseMemory | None = None,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ) -> None:
+        if max_instructions <= 0:
+            raise ExecutionError("max_instructions must be positive")
+        self.program = program
+        self.registers = RegisterFile()
+        self.memory = memory if memory is not None else SparseMemory()
+        self.max_instructions = max_instructions
+        self._observers: list[RetirementObserver] = []
+        self._serial = 0
+
+    # ------------------------------------------------------------------ #
+    # Observer management
+    # ------------------------------------------------------------------ #
+    def add_observer(self, observer: RetirementObserver) -> None:
+        """Register a callback invoked for every retired instruction."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: RetirementObserver) -> None:
+        """Unregister a previously added observer."""
+        self._observers.remove(observer)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> ExecutionResult:
+        """Execute the program until ``halt`` or the instruction budget."""
+        result = ExecutionResult(program_name=self.program.name)
+        instructions = self.program.instructions
+        labels = self.program.labels
+        registers = self.registers
+        memory = self.memory
+        observers = self._observers
+        category_counts = result.category_counts
+        index = 0
+        limit = self.max_instructions
+        retired = 0
+
+        while True:
+            if index < 0 or index >= len(instructions):
+                raise ExecutionError(
+                    f"{self.program.name!r}: control transferred outside the program "
+                    f"(index {index})"
+                )
+            instruction = instructions[index]
+            opcode = instruction.opcode
+            if opcode is Opcode.HALT:
+                result.halted = True
+                break
+            if retired >= limit:
+                raise ExecutionLimitExceeded(
+                    f"{self.program.name!r}: exceeded the budget of {limit} dynamic instructions"
+                )
+
+            next_index = index + 1
+            value: int | None = None
+
+            if opcode is Opcode.ADD:
+                value = registers.write(
+                    instruction.rd, registers.read(instruction.rs) + registers.read(instruction.rt)
+                )
+            elif opcode is Opcode.ADDI:
+                value = registers.write(
+                    instruction.rd, registers.read(instruction.rs) + instruction.imm
+                )
+            elif opcode is Opcode.SUB:
+                value = registers.write(
+                    instruction.rd, registers.read(instruction.rs) - registers.read(instruction.rt)
+                )
+            elif opcode is Opcode.SUBI:
+                value = registers.write(
+                    instruction.rd, registers.read(instruction.rs) - instruction.imm
+                )
+            elif opcode is Opcode.LW:
+                address = registers.read(instruction.rs) + instruction.imm
+                value = registers.write(instruction.rd, memory.load_word(address))
+            elif opcode is Opcode.LB:
+                address = registers.read(instruction.rs) + instruction.imm
+                value = registers.write(instruction.rd, memory.load_byte(address))
+            elif opcode is Opcode.SW:
+                address = registers.read(instruction.rs) + instruction.imm
+                memory.store_word(address, registers.read(instruction.rt))
+            elif opcode is Opcode.SB:
+                address = registers.read(instruction.rs) + instruction.imm
+                memory.store_byte(address, registers.read(instruction.rt))
+            elif opcode is Opcode.AND:
+                value = registers.write(
+                    instruction.rd,
+                    to_unsigned(registers.read(instruction.rs))
+                    & to_unsigned(registers.read(instruction.rt)),
+                )
+            elif opcode is Opcode.ANDI:
+                value = registers.write(
+                    instruction.rd,
+                    to_unsigned(registers.read(instruction.rs)) & to_unsigned(instruction.imm),
+                )
+            elif opcode is Opcode.OR:
+                value = registers.write(
+                    instruction.rd,
+                    to_unsigned(registers.read(instruction.rs))
+                    | to_unsigned(registers.read(instruction.rt)),
+                )
+            elif opcode is Opcode.ORI:
+                value = registers.write(
+                    instruction.rd,
+                    to_unsigned(registers.read(instruction.rs)) | to_unsigned(instruction.imm),
+                )
+            elif opcode is Opcode.XOR:
+                value = registers.write(
+                    instruction.rd,
+                    to_unsigned(registers.read(instruction.rs))
+                    ^ to_unsigned(registers.read(instruction.rt)),
+                )
+            elif opcode is Opcode.XORI:
+                value = registers.write(
+                    instruction.rd,
+                    to_unsigned(registers.read(instruction.rs)) ^ to_unsigned(instruction.imm),
+                )
+            elif opcode is Opcode.NOR:
+                value = registers.write(
+                    instruction.rd,
+                    ~(
+                        to_unsigned(registers.read(instruction.rs))
+                        | to_unsigned(registers.read(instruction.rt))
+                    ),
+                )
+            elif opcode is Opcode.SLL:
+                value = registers.write(
+                    instruction.rd, registers.read(instruction.rs) << (instruction.imm & 63)
+                )
+            elif opcode is Opcode.SRL:
+                value = registers.write(
+                    instruction.rd,
+                    to_unsigned(registers.read(instruction.rs)) >> (instruction.imm & 63),
+                )
+            elif opcode is Opcode.SRA:
+                value = registers.write(
+                    instruction.rd, registers.read(instruction.rs) >> (instruction.imm & 63)
+                )
+            elif opcode is Opcode.SLLV:
+                value = registers.write(
+                    instruction.rd,
+                    registers.read(instruction.rs) << (registers.read(instruction.rt) & 63),
+                )
+            elif opcode is Opcode.SRLV:
+                value = registers.write(
+                    instruction.rd,
+                    to_unsigned(registers.read(instruction.rs))
+                    >> (registers.read(instruction.rt) & 63),
+                )
+            elif opcode is Opcode.SLT:
+                value = registers.write(
+                    instruction.rd,
+                    1 if registers.read(instruction.rs) < registers.read(instruction.rt) else 0,
+                )
+            elif opcode is Opcode.SLTI:
+                value = registers.write(
+                    instruction.rd, 1 if registers.read(instruction.rs) < instruction.imm else 0
+                )
+            elif opcode is Opcode.SLTU:
+                value = registers.write(
+                    instruction.rd,
+                    1
+                    if to_unsigned(registers.read(instruction.rs))
+                    < to_unsigned(registers.read(instruction.rt))
+                    else 0,
+                )
+            elif opcode is Opcode.SEQ:
+                value = registers.write(
+                    instruction.rd,
+                    1 if registers.read(instruction.rs) == registers.read(instruction.rt) else 0,
+                )
+            elif opcode is Opcode.SNE:
+                value = registers.write(
+                    instruction.rd,
+                    1 if registers.read(instruction.rs) != registers.read(instruction.rt) else 0,
+                )
+            elif opcode is Opcode.MULT:
+                value = registers.write(
+                    instruction.rd, registers.read(instruction.rs) * registers.read(instruction.rt)
+                )
+            elif opcode is Opcode.DIV:
+                divisor = registers.read(instruction.rt)
+                dividend = registers.read(instruction.rs)
+                value = registers.write(
+                    instruction.rd, 0 if divisor == 0 else int(dividend / divisor)
+                )
+            elif opcode is Opcode.REM:
+                divisor = registers.read(instruction.rt)
+                dividend = registers.read(instruction.rs)
+                value = registers.write(
+                    instruction.rd,
+                    0 if divisor == 0 else dividend - int(dividend / divisor) * divisor,
+                )
+            elif opcode is Opcode.LUI:
+                value = registers.write(instruction.rd, wrap_value(instruction.imm << 16))
+            elif opcode is Opcode.MOV:
+                value = registers.write(instruction.rd, registers.read(instruction.rs))
+            elif opcode is Opcode.LI:
+                value = registers.write(instruction.rd, instruction.imm)
+            elif opcode is Opcode.JAL:
+                value = registers.write(instruction.rd, (index + 1) * INSTRUCTION_SIZE)
+                next_index = labels[instruction.target]
+            elif opcode is Opcode.BEQ:
+                if registers.read(instruction.rs) == registers.read(instruction.rt):
+                    next_index = labels[instruction.target]
+            elif opcode is Opcode.BNE:
+                if registers.read(instruction.rs) != registers.read(instruction.rt):
+                    next_index = labels[instruction.target]
+            elif opcode is Opcode.BLT:
+                if registers.read(instruction.rs) < registers.read(instruction.rt):
+                    next_index = labels[instruction.target]
+            elif opcode is Opcode.BGE:
+                if registers.read(instruction.rs) >= registers.read(instruction.rt):
+                    next_index = labels[instruction.target]
+            elif opcode is Opcode.BLE:
+                if registers.read(instruction.rs) <= registers.read(instruction.rt):
+                    next_index = labels[instruction.target]
+            elif opcode is Opcode.BGT:
+                if registers.read(instruction.rs) > registers.read(instruction.rt):
+                    next_index = labels[instruction.target]
+            elif opcode is Opcode.J:
+                next_index = labels[instruction.target]
+            elif opcode is Opcode.JR:
+                next_index = registers.read(instruction.rs) // INSTRUCTION_SIZE
+            elif opcode is Opcode.NOP:
+                pass
+            else:  # pragma: no cover - all opcodes handled above
+                raise InvalidInstructionError(f"unhandled opcode {opcode}")
+
+            category = instruction.category
+            category_counts[category] = category_counts.get(category, 0) + 1
+            retired += 1
+            if value is not None:
+                result.register_writes += 1
+            if observers:
+                event = RetiredInstruction(
+                    serial=self._serial,
+                    pc=index * INSTRUCTION_SIZE,
+                    opcode=opcode,
+                    category=category,
+                    value=value,
+                    annotation=instruction.annotation,
+                )
+                for observer in observers:
+                    observer(event, instruction)
+            self._serial += 1
+            index = next_index
+
+        result.retired_instructions = retired
+        return result
+
+
+def run_program(
+    program: Program,
+    observers: Iterable[RetirementObserver] = (),
+    memory: SparseMemory | None = None,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+) -> ExecutionResult:
+    """Convenience wrapper: build a machine, attach observers, run it."""
+    machine = Machine(program, memory=memory, max_instructions=max_instructions)
+    for observer in observers:
+        machine.add_observer(observer)
+    return machine.run()

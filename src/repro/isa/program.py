@@ -1,0 +1,286 @@
+"""Program representation and a builder with symbolic labels.
+
+Workloads construct programs through :class:`ProgramBuilder`, which offers
+one emitter method per opcode plus label management.  :class:`Program`
+resolves labels into instruction indices and is what the
+:class:`repro.isa.machine.Machine` executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction
+from repro.isa.opcodes import BRANCH_OPCODES, Opcode
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable, label-resolved program.
+
+    Attributes
+    ----------
+    name:
+        Human-readable program name (usually the workload name).
+    instructions:
+        The instruction sequence; the instruction at index ``i`` has
+        ``pc = i * INSTRUCTION_SIZE``.
+    labels:
+        Mapping from label name to instruction index.
+    """
+
+    name: str
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int]
+
+    def __post_init__(self) -> None:
+        for label, index in self.labels.items():
+            if not 0 <= index <= len(self.instructions):
+                raise ProgramError(f"label {label!r} resolves outside the program")
+        for position, instruction in enumerate(self.instructions):
+            if instruction.target is not None and instruction.opcode is not Opcode.JR:
+                if instruction.target not in self.labels:
+                    raise ProgramError(
+                        f"instruction {position} ({instruction}) references unknown label "
+                        f"{instruction.target!r}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def pc_of_index(self, index: int) -> int:
+        """Return the program counter value of the instruction at ``index``."""
+        return index * INSTRUCTION_SIZE
+
+    def index_of_label(self, label: str) -> int:
+        """Return the instruction index a label refers to."""
+        try:
+            return self.labels[label]
+        except KeyError as exc:
+            raise ProgramError(f"unknown label {label!r}") from exc
+
+    def static_pcs(self) -> tuple[int, ...]:
+        """Return the PCs of all static instructions in program order."""
+        return tuple(i * INSTRUCTION_SIZE for i in range(len(self.instructions)))
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program` with symbolic labels.
+
+    Register allocation is left to the caller (workloads use small helper
+    conventions); the builder is purely about assembling the instruction
+    stream and resolving labels.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Label management
+    # ------------------------------------------------------------------ #
+    def label(self, name: str) -> str:
+        """Bind ``name`` to the next emitted instruction and return it."""
+        if name in self._labels:
+            raise ProgramError(f"label {name!r} defined twice in program {self.name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def fresh_label(self, stem: str = "L") -> str:
+        """Return a unique label name (not yet bound to a position)."""
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    @property
+    def next_index(self) -> int:
+        """Index that the next emitted instruction will occupy."""
+        return len(self._instructions)
+
+    # ------------------------------------------------------------------ #
+    # Raw emission
+    # ------------------------------------------------------------------ #
+    def emit(self, instruction: Instruction) -> Instruction:
+        """Append a pre-built instruction."""
+        self._instructions.append(instruction)
+        return instruction
+
+    def _op(self, opcode: Opcode, **kwargs) -> Instruction:
+        return self.emit(Instruction(opcode, **kwargs))
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def add(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.ADD, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def addi(self, rd: int, rs: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.ADDI, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    def sub(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SUB, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def subi(self, rd: int, rs: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SUBI, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    # ------------------------------------------------------------------ #
+    # Memory
+    # ------------------------------------------------------------------ #
+    def lw(self, rd: int, rs: int, imm: int = 0, annotation: str = "") -> Instruction:
+        return self._op(Opcode.LW, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    def lb(self, rd: int, rs: int, imm: int = 0, annotation: str = "") -> Instruction:
+        return self._op(Opcode.LB, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    def sw(self, rt: int, rs: int, imm: int = 0, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SW, rt=rt, rs=rs, imm=imm, annotation=annotation)
+
+    def sb(self, rt: int, rs: int, imm: int = 0, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SB, rt=rt, rs=rs, imm=imm, annotation=annotation)
+
+    # ------------------------------------------------------------------ #
+    # Logic
+    # ------------------------------------------------------------------ #
+    def and_(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.AND, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def andi(self, rd: int, rs: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.ANDI, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    def or_(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.OR, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def ori(self, rd: int, rs: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.ORI, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    def xor(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.XOR, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def xori(self, rd: int, rs: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.XORI, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    def nor(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.NOR, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    # ------------------------------------------------------------------ #
+    # Shifts
+    # ------------------------------------------------------------------ #
+    def sll(self, rd: int, rs: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SLL, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    def srl(self, rd: int, rs: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SRL, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    def sra(self, rd: int, rs: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SRA, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    def sllv(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SLLV, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def srlv(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SRLV, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    # ------------------------------------------------------------------ #
+    # Compare-and-set
+    # ------------------------------------------------------------------ #
+    def slt(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SLT, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def slti(self, rd: int, rs: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SLTI, rd=rd, rs=rs, imm=imm, annotation=annotation)
+
+    def sltu(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SLTU, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def seq(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SEQ, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def sne(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.SNE, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    # ------------------------------------------------------------------ #
+    # Multiply / divide / LUI / moves
+    # ------------------------------------------------------------------ #
+    def mult(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.MULT, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def div(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.DIV, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def rem(self, rd: int, rs: int, rt: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.REM, rd=rd, rs=rs, rt=rt, annotation=annotation)
+
+    def lui(self, rd: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.LUI, rd=rd, imm=imm, annotation=annotation)
+
+    def mov(self, rd: int, rs: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.MOV, rd=rd, rs=rs, annotation=annotation)
+
+    def li(self, rd: int, imm: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.LI, rd=rd, imm=imm, annotation=annotation)
+
+    # ------------------------------------------------------------------ #
+    # Control flow
+    # ------------------------------------------------------------------ #
+    def beq(self, rs: int, rt: int, target: str, annotation: str = "") -> Instruction:
+        return self._op(Opcode.BEQ, rs=rs, rt=rt, target=target, annotation=annotation)
+
+    def bne(self, rs: int, rt: int, target: str, annotation: str = "") -> Instruction:
+        return self._op(Opcode.BNE, rs=rs, rt=rt, target=target, annotation=annotation)
+
+    def blt(self, rs: int, rt: int, target: str, annotation: str = "") -> Instruction:
+        return self._op(Opcode.BLT, rs=rs, rt=rt, target=target, annotation=annotation)
+
+    def bge(self, rs: int, rt: int, target: str, annotation: str = "") -> Instruction:
+        return self._op(Opcode.BGE, rs=rs, rt=rt, target=target, annotation=annotation)
+
+    def ble(self, rs: int, rt: int, target: str, annotation: str = "") -> Instruction:
+        return self._op(Opcode.BLE, rs=rs, rt=rt, target=target, annotation=annotation)
+
+    def bgt(self, rs: int, rt: int, target: str, annotation: str = "") -> Instruction:
+        return self._op(Opcode.BGT, rs=rs, rt=rt, target=target, annotation=annotation)
+
+    def j(self, target: str, annotation: str = "") -> Instruction:
+        return self._op(Opcode.J, target=target, annotation=annotation)
+
+    def jal(self, rd: int, target: str, annotation: str = "") -> Instruction:
+        return self._op(Opcode.JAL, rd=rd, target=target, annotation=annotation)
+
+    def jr(self, rs: int, annotation: str = "") -> Instruction:
+        return self._op(Opcode.JR, rs=rs, annotation=annotation)
+
+    def nop(self, annotation: str = "") -> Instruction:
+        return self._op(Opcode.NOP, annotation=annotation)
+
+    def halt(self, annotation: str = "") -> Instruction:
+        return self._op(Opcode.HALT, annotation=annotation)
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+    def build(self) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        if not self._instructions:
+            raise ProgramError(f"program {self.name!r} has no instructions")
+        if self._instructions[-1].opcode is not Opcode.HALT:
+            self.halt()
+        self._validate_targets()
+        return Program(
+            name=self.name,
+            instructions=tuple(self._instructions),
+            labels=dict(self._labels),
+        )
+
+    def _validate_targets(self) -> None:
+        for position, instruction in enumerate(self._instructions):
+            needs_label = instruction.opcode in BRANCH_OPCODES or instruction.opcode in (
+                Opcode.J,
+                Opcode.JAL,
+            )
+            if needs_label and instruction.target not in self._labels:
+                raise ProgramError(
+                    f"{self.name!r}: instruction {position} ({instruction}) targets "
+                    f"undefined label {instruction.target!r}"
+                )

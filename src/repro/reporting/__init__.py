@@ -1,0 +1,53 @@
+"""Turning simulation results into the paper's tables and figures.
+
+:mod:`repro.reporting.experiments` exposes one function per evaluation
+artefact (``table1`` ... ``figure11``); each returns an
+:class:`ExperimentArtifact` whose ``render()`` produces the table/series the
+paper reports, regenerated from this repository's synthetic substrate.
+"""
+
+from repro.reporting.tables import format_table
+from repro.reporting.figures import FigureSeries
+from repro.reporting.experiments import (
+    ExperimentArtifact,
+    ALL_EXPERIMENTS,
+    run_experiment,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    figure1,
+    figure2,
+    figure3,
+    figure4_7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+
+__all__ = [
+    "format_table",
+    "FigureSeries",
+    "ExperimentArtifact",
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4_7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+]

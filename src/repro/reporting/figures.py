@@ -1,0 +1,56 @@
+"""Series containers for figure-style experiment outputs.
+
+The original figures are bar/line charts; this reproduction reports the same
+data as labelled numeric series (one per bar group / line), which keeps the
+library dependency-free while preserving every number a plot would show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.reporting.tables import format_table
+
+
+@dataclass
+class FigureSeries:
+    """Numeric series sharing one x-axis, like the paper's grouped bar charts.
+
+    Attributes
+    ----------
+    name:
+        Figure identifier (e.g. ``"Figure 3"``).
+    x_label / y_label:
+        Axis descriptions.
+    x_values:
+        Labels along the x axis (benchmarks, orders, percentages, ...).
+    series:
+        Mapping from series name (predictor, category, ...) to its values,
+        one value per x position.
+    """
+
+    name: str
+    x_label: str
+    y_label: str
+    x_values: list[str]
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add_series(self, label: str, values: list[float]) -> None:
+        """Add one labelled series; its length must match the x axis."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for {len(self.x_values)} x positions"
+            )
+        self.series[label] = list(values)
+
+    def value(self, label: str, x_value: str) -> float:
+        """Look up a single data point by series label and x position."""
+        return self.series[label][self.x_values.index(x_value)]
+
+    def render(self) -> str:
+        """Render the series as a plain-text table (x axis as rows)."""
+        headers = [self.x_label] + list(self.series)
+        rows = []
+        for index, x_value in enumerate(self.x_values):
+            rows.append([x_value] + [self.series[label][index] for label in self.series])
+        return format_table(headers, rows, title=f"{self.name} — {self.y_label}")

@@ -1,0 +1,50 @@
+"""Plain-text table rendering used by the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    if cell is None:
+        return "-"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[object],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Floats are shown with one decimal place (the paper's precision) and
+    ``None`` cells become ``-`` (the paper's "not suitable" marker).
+    """
+    header_cells = [_stringify(cell) for cell in headers]
+    body = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(cell) for cell in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row(header_cells))
+    lines.append(separator)
+    for row in body:
+        lines.append(render_row(row))
+    lines.append(separator)
+    return "\n".join(lines)

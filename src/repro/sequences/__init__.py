@@ -1,0 +1,37 @@
+"""Value-sequence taxonomy of Section 1.1 of the paper.
+
+The paper classifies value sequences into constant (C), stride (S),
+non-stride (NS), repeated stride (RS) and repeated non-stride (RNS)
+sequences, and analyses each predictor's *learning time* (LT — values
+observed before the first correct prediction) and *learning degree* (LD —
+the fraction of correct predictions after the first correct one) on each
+class.  This package provides generators for those sequence classes, a
+classifier, and the LT/LD measurement used to regenerate Table 1 and
+Figure 2.
+"""
+
+from repro.sequences.generators import (
+    SequenceClass,
+    constant_sequence,
+    stride_sequence,
+    non_stride_sequence,
+    repeated_stride_sequence,
+    repeated_non_stride_sequence,
+    generate_sequence,
+)
+from repro.sequences.classify import classify_sequence
+from repro.sequences.analysis import LearningProfile, measure_learning, predictor_behaviour_table
+
+__all__ = [
+    "SequenceClass",
+    "constant_sequence",
+    "stride_sequence",
+    "non_stride_sequence",
+    "repeated_stride_sequence",
+    "repeated_non_stride_sequence",
+    "generate_sequence",
+    "classify_sequence",
+    "LearningProfile",
+    "measure_learning",
+    "predictor_behaviour_table",
+]

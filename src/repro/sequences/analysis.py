@@ -1,0 +1,120 @@
+"""Learning time / learning degree measurement (Table 1 and Figure 2).
+
+The paper defines two characteristics for a predictor on a value sequence:
+
+* **Learning Time (LT)** — the number of values that have to be observed
+  before the first correct prediction.
+* **Learning Degree (LD)** — the percentage of correct predictions following
+  the first correct prediction.
+
+:func:`measure_learning` measures both empirically by feeding a sequence to
+a fresh predictor exactly the way the simulator does (predict, score, update
+immediately), and :func:`predictor_behaviour_table` regenerates the structure
+of Table 1 for any set of predictors and sequence classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.base import ValuePredictor
+from repro.core.registry import create_predictor
+from repro.sequences.generators import SequenceClass, generate_sequence
+
+
+@dataclass(frozen=True)
+class LearningProfile:
+    """Measured learning behaviour of one predictor on one sequence.
+
+    Attributes
+    ----------
+    learning_time:
+        Values observed before the first correct prediction, or ``None`` when
+        the predictor never predicted correctly ("-" rows in Table 1).
+    learning_degree:
+        Percentage of correct predictions after (and excluding) the first
+        correct one; ``None`` when no prediction was ever correct or the
+        first correct prediction was the final element.
+    correct:
+        Total number of correct predictions over the sequence.
+    total:
+        Sequence length.
+    """
+
+    learning_time: int | None
+    learning_degree: float | None
+    correct: int
+    total: int
+
+    @property
+    def accuracy(self) -> float:
+        """Overall accuracy over the whole sequence (%)."""
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.correct / self.total
+
+
+def measure_learning(
+    predictor: ValuePredictor, values: Sequence[int], pc: int = 0
+) -> LearningProfile:
+    """Feed ``values`` through ``predictor`` and measure LT / LD."""
+    outcomes: list[bool] = []
+    for value in values:
+        outcomes.append(predictor.observe(pc, int(value)))
+
+    correct_total = sum(outcomes)
+    first_correct_index = next((i for i, ok in enumerate(outcomes) if ok), None)
+    if first_correct_index is None:
+        return LearningProfile(
+            learning_time=None, learning_degree=None, correct=0, total=len(values)
+        )
+    after = outcomes[first_correct_index + 1 :]
+    learning_degree = 100.0 * sum(after) / len(after) if after else None
+    return LearningProfile(
+        learning_time=first_correct_index,
+        learning_degree=learning_degree,
+        correct=correct_total,
+        total=len(values),
+    )
+
+
+def predictor_behaviour_table(
+    predictor_names: Iterable[str] = ("l", "s2", "fcm3"),
+    sequence_classes: Iterable[SequenceClass] = tuple(SequenceClass),
+    length: int = 64,
+    period: int = 4,
+) -> dict[SequenceClass, dict[str, LearningProfile]]:
+    """Regenerate the structure of Table 1 by direct measurement.
+
+    Each (sequence class, predictor) cell contains the measured
+    :class:`LearningProfile` for a fresh predictor instance on a freshly
+    generated sequence of the given class.
+    """
+    table: dict[SequenceClass, dict[str, LearningProfile]] = {}
+    for sequence_class in sequence_classes:
+        values = generate_sequence(sequence_class, length=length, period=period)
+        row: dict[str, LearningProfile] = {}
+        for name in predictor_names:
+            predictor = create_predictor(name)
+            row[name] = measure_learning(predictor, values)
+        table[sequence_class] = row
+    return table
+
+
+def prediction_outcomes(
+    predictor: ValuePredictor, values: Sequence[int], pc: int = 0
+) -> list[tuple[int | None, bool]]:
+    """Return ``(predicted value, correct?)`` for every element of ``values``.
+
+    This is the data behind Figure 2 of the paper, which steps through a
+    repeated stride sequence and shows each predictor's prediction at every
+    position.
+    """
+    outcomes: list[tuple[int | None, bool]] = []
+    for value in values:
+        prediction = predictor.predict(pc)
+        outcomes.append((prediction.value, prediction.is_correct(int(value))))
+        predictor.stats.record(prediction, int(value), None)
+        predictor.update(pc, int(value))
+    return outcomes

@@ -1,0 +1,55 @@
+"""Classify a value sequence into the taxonomy of Section 1.1.
+
+The classifier is intentionally simple — the paper's taxonomy is informal —
+but it is useful both for validating the generators and for characterising
+the per-PC value streams that the synthetic workloads produce.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sequences.generators import SequenceClass
+
+
+def _is_constant(values: Sequence[int]) -> bool:
+    return all(value == values[0] for value in values)
+
+
+def _is_stride(values: Sequence[int]) -> bool:
+    if len(values) < 3:
+        return False
+    stride = values[1] - values[0]
+    if stride == 0:
+        return False
+    return all(values[i + 1] - values[i] == stride for i in range(len(values) - 1))
+
+
+def _repetition_period(values: Sequence[int]) -> int | None:
+    """Smallest period p >= 2 such that the sequence repeats with period p."""
+    n = len(values)
+    for period in range(2, n // 2 + 1):
+        if all(values[i] == values[i % period] for i in range(n)):
+            return period
+    return None
+
+
+def classify_sequence(values: Sequence[int]) -> SequenceClass:
+    """Classify ``values`` as C, S, RS, RNS or NS.
+
+    At least two full repetitions are required before a sequence is labelled
+    as repeating; otherwise shorter prefixes would be ambiguous.
+    """
+    if not values:
+        raise ValueError("cannot classify an empty sequence")
+    if _is_constant(values):
+        return SequenceClass.CONSTANT
+    if _is_stride(values):
+        return SequenceClass.STRIDE
+    period = _repetition_period(values)
+    if period is not None:
+        one_period = values[:period]
+        if _is_stride(one_period) or _is_constant(one_period) or period == 2:
+            return SequenceClass.REPEATED_STRIDE
+        return SequenceClass.REPEATED_NON_STRIDE
+    return SequenceClass.NON_STRIDE

@@ -1,0 +1,97 @@
+"""Generators for the value-sequence classes of Section 1.1."""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.errors import ReproError
+
+
+class SequenceClass(str, enum.Enum):
+    """The five sequence classes defined in Section 1.1 of the paper."""
+
+    CONSTANT = "C"
+    STRIDE = "S"
+    NON_STRIDE = "NS"
+    REPEATED_STRIDE = "RS"
+    REPEATED_NON_STRIDE = "RNS"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def constant_sequence(length: int, value: int = 5) -> list[int]:
+    """A constant sequence: ``value value value ...``."""
+    _check_length(length)
+    return [value] * length
+
+
+def stride_sequence(length: int, start: int = 1, stride: int = 1) -> list[int]:
+    """A stride sequence: consecutive elements differ by ``stride``.
+
+    ``stride`` may be negative; a zero stride degenerates to a constant
+    sequence, mirroring the paper's remark that constants are zero-stride.
+    """
+    _check_length(length)
+    return [start + i * stride for i in range(length)]
+
+
+def non_stride_sequence(length: int, seed: int = 7, low: int = -500, high: int = 500) -> list[int]:
+    """A non-stride sequence: values with no constant difference.
+
+    A seeded PRNG draws values and the generator retries whenever the last
+    three drawn values happen to form a stride, so the result is guaranteed
+    to contain no three-term arithmetic run.
+    """
+    _check_length(length)
+    if low >= high:
+        raise ReproError("non_stride_sequence requires low < high")
+    rng = random.Random(seed)
+    values: list[int] = []
+    while len(values) < length:
+        candidate = rng.randint(low, high)
+        if len(values) >= 2 and (candidate - values[-1]) == (values[-1] - values[-2]):
+            candidate = candidate + 1 if candidate < high else low
+            if (candidate - values[-1]) == (values[-1] - values[-2]):
+                continue
+        values.append(candidate)
+    return values
+
+
+def repeated_stride_sequence(length: int, period: int = 4, start: int = 1, stride: int = 1) -> list[int]:
+    """A repeated stride sequence, e.g. ``1 2 3 4 1 2 3 4 ...``."""
+    _check_length(length)
+    if period < 2:
+        raise ReproError("repeated_stride_sequence requires period >= 2")
+    base = stride_sequence(period, start=start, stride=stride)
+    return [base[i % period] for i in range(length)]
+
+
+def repeated_non_stride_sequence(length: int, period: int = 4, seed: int = 7) -> list[int]:
+    """A repeated non-stride sequence, e.g. ``1 -13 -99 7 1 -13 -99 7 ...``."""
+    _check_length(length)
+    if period < 2:
+        raise ReproError("repeated_non_stride_sequence requires period >= 2")
+    base = non_stride_sequence(period, seed=seed)
+    return [base[i % period] for i in range(length)]
+
+
+def generate_sequence(sequence_class: SequenceClass, length: int, period: int = 4, seed: int = 7) -> list[int]:
+    """Generate a sequence of the given class with default parameters."""
+    if sequence_class is SequenceClass.CONSTANT:
+        return constant_sequence(length)
+    if sequence_class is SequenceClass.STRIDE:
+        return stride_sequence(length)
+    if sequence_class is SequenceClass.NON_STRIDE:
+        return non_stride_sequence(length, seed=seed)
+    if sequence_class is SequenceClass.REPEATED_STRIDE:
+        return repeated_stride_sequence(length, period=period)
+    if sequence_class is SequenceClass.REPEATED_NON_STRIDE:
+        return repeated_non_stride_sequence(length, period=period, seed=seed)
+    raise ReproError(f"unknown sequence class {sequence_class!r}")
+
+
+def _check_length(length: int) -> None:
+    if length < 1:
+        raise ReproError("sequence length must be positive")

@@ -1,0 +1,124 @@
+"""Predicted-set correlation analysis (Figure 8 of the paper).
+
+Three predictors — last value (``l``), stride (``s``) and fcm (``f``) — are
+simulated in lockstep and every prediction is assigned to one of eight
+mutually exclusive subsets according to which predictors got it right:
+``np`` (none), ``l``, ``s``, ``f`` (exactly one), ``ls``, ``lf``, ``sf``
+(exactly two) and ``lsf`` (all three).  The fractions of all predictions in
+each subset, overall and per instruction category, are what Figure 8 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.isa.opcodes import Category, REPORTED_CATEGORIES
+from repro.simulation.metrics import arithmetic_mean
+from repro.simulation.simulator import SimulationResult
+
+#: Subset labels in the order the paper's Figure 8 legend lists them.
+SUBSET_LABELS: tuple[str, ...] = ("np", "l", "s", "ls", "f", "lf", "sf", "lsf")
+
+#: Mapping from a (last, stride, fcm) correctness tuple to its subset label.
+_OUTCOME_TO_LABEL: dict[tuple[bool, bool, bool], str] = {
+    (False, False, False): "np",
+    (True, False, False): "l",
+    (False, True, False): "s",
+    (True, True, False): "ls",
+    (False, False, True): "f",
+    (True, False, True): "lf",
+    (False, True, True): "sf",
+    (True, True, True): "lsf",
+}
+
+
+@dataclass
+class CorrelationBreakdown:
+    """Fractions (%) of predictions falling into each correctness subset."""
+
+    #: overall[label] -> percentage of all predictions
+    overall: dict[str, float]
+    #: by_category[category][label] -> percentage of that category's predictions
+    by_category: dict[Category, dict[str, float]]
+
+    def fraction_correct_by_any(self) -> float:
+        """Percentage of predictions correct under at least one predictor."""
+        return 100.0 - self.overall["np"]
+
+    def fraction_only_fcm(self) -> float:
+        """Percentage captured by fcm alone (the paper's >20% observation)."""
+        return self.overall["f"]
+
+    def fraction_all_three(self) -> float:
+        """Percentage captured by every predictor (the paper's ~40%)."""
+        return self.overall["lsf"]
+
+    def fraction_missed_by_fcm_caught_by_others(self) -> float:
+        """Correct predictions fcm misses but last-value/stride catch (<5%)."""
+        return self.overall["l"] + self.overall["s"] + self.overall["ls"]
+
+
+def _percentages(
+    counts: Mapping[tuple[bool, ...], int], indices: tuple[int, int, int]
+) -> dict[str, float]:
+    total = sum(counts.values())
+    percentages = {label: 0.0 for label in SUBSET_LABELS}
+    if total == 0:
+        return percentages
+    for outcome, count in counts.items():
+        projected = tuple(bool(outcome[index]) for index in indices)
+        label = _OUTCOME_TO_LABEL[projected]
+        percentages[label] += 100.0 * count / total
+    return percentages
+
+
+def correlation_breakdown(
+    simulation: SimulationResult,
+    predictors: tuple[str, str, str] = ("l", "s2", "fcm3"),
+    categories: tuple[Category, ...] = REPORTED_CATEGORIES,
+) -> CorrelationBreakdown:
+    """Compute the Figure 8 subsets for one benchmark's simulation.
+
+    ``predictors`` names the (last value, stride, fcm) triple, in that order;
+    other predictors present in the simulation are marginalised away, so the
+    breakdown can be computed from the standard five-predictor campaign
+    without re-simulating.
+    """
+    try:
+        indices = tuple(simulation.predictor_names.index(name) for name in predictors)
+    except ValueError as exc:
+        raise SimulationError(
+            f"simulation lacks one of {predictors}; has {simulation.predictor_names}"
+        ) from exc
+    overall = _percentages(simulation.subset_counts, indices)
+    by_category = {
+        category: _percentages(simulation.subset_counts_by_category.get(category, {}), indices)
+        for category in categories
+    }
+    return CorrelationBreakdown(overall=overall, by_category=by_category)
+
+
+def average_correlation(
+    breakdowns: Sequence[CorrelationBreakdown],
+    categories: tuple[Category, ...] = REPORTED_CATEGORIES,
+) -> CorrelationBreakdown:
+    """Average several per-benchmark breakdowns (arithmetic mean, as the paper)."""
+    if not breakdowns:
+        raise SimulationError("cannot average zero correlation breakdowns")
+    overall = {
+        label: arithmetic_mean(breakdown.overall[label] for breakdown in breakdowns)
+        for label in SUBSET_LABELS
+    }
+    by_category = {
+        category: {
+            label: arithmetic_mean(
+                breakdown.by_category.get(category, {}).get(label, 0.0)
+                for breakdown in breakdowns
+            )
+            for label in SUBSET_LABELS
+        }
+        for category in categories
+    }
+    return CorrelationBreakdown(overall=overall, by_category=by_category)

@@ -1,0 +1,158 @@
+"""Cumulative FCM-over-stride improvement (Figure 9 of the paper).
+
+For every static instruction where the fcm predictor is correct more often
+than the stride predictor, the improvement is the difference in correct
+predictions.  Sorting static instructions by decreasing improvement and
+accumulating shows how concentrated the fcm advantage is: the paper finds
+that about 20% of those static instructions account for roughly 97% of the
+total improvement, which motivates a hybrid predictor with a per-PC chooser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.isa.opcodes import Category, REPORTED_CATEGORIES
+from repro.simulation.simulator import SimulationResult
+
+
+@dataclass
+class ImprovementCurve:
+    """Cumulative improvement of fcm over stride versus static instructions.
+
+    ``points`` maps an x-axis percentage (share of the improving static
+    instructions considered, after sorting by decreasing improvement) to the
+    normalised cumulative improvement (%).
+    """
+
+    total_improvement: int
+    improving_static_instructions: int
+    points: dict[int, float]
+
+    def improvement_at(self, static_percent: int) -> float:
+        """Normalised cumulative improvement at an x-axis position."""
+        if not self.points:
+            return 0.0
+        available = [x for x in self.points if x <= static_percent]
+        if not available:
+            return 0.0
+        return self.points[max(available)]
+
+    def static_fraction_for(self, target_improvement_percent: float) -> int:
+        """Smallest x (in %) whose cumulative improvement reaches the target."""
+        for x in sorted(self.points):
+            if self.points[x] >= target_improvement_percent:
+                return x
+        return 100
+
+
+def _curve_from_improvements(improvements: list[int], steps: int = 20) -> ImprovementCurve:
+    improvements = sorted((value for value in improvements if value > 0), reverse=True)
+    total = sum(improvements)
+    points: dict[int, float] = {}
+    if not improvements or total == 0:
+        return ImprovementCurve(total_improvement=0, improving_static_instructions=0, points={})
+    count = len(improvements)
+    for step in range(steps + 1):
+        x_percent = int(round(100 * step / steps))
+        take = int(round(count * step / steps))
+        points[x_percent] = 100.0 * sum(improvements[:take]) / total
+    return ImprovementCurve(
+        total_improvement=total, improving_static_instructions=count, points=points
+    )
+
+
+def improvement_curve(
+    simulation: SimulationResult,
+    fcm_name: str,
+    stride_name: str,
+    category: Category | None = None,
+    steps: int = 20,
+) -> ImprovementCurve:
+    """Build the Figure 9 curve from one benchmark's simulation result."""
+    if fcm_name not in simulation.results or stride_name not in simulation.results:
+        raise SimulationError(
+            f"simulation lacks predictors {fcm_name!r}/{stride_name!r}: "
+            f"has {simulation.predictor_names}"
+        )
+    fcm = simulation.results[fcm_name]
+    stride = simulation.results[stride_name]
+    improvements: list[int] = []
+    for pc in simulation.pc_total:
+        if category is not None and simulation.pc_category.get(pc) is not category:
+            continue
+        improvement = fcm.pc_correct.get(pc, 0) - stride.pc_correct.get(pc, 0)
+        improvements.append(improvement)
+    return _curve_from_improvements(improvements, steps=steps)
+
+
+def improvement_curves_by_category(
+    simulation: SimulationResult,
+    fcm_name: str,
+    stride_name: str,
+    categories: tuple[Category, ...] = REPORTED_CATEGORIES,
+    steps: int = 20,
+) -> dict[str, ImprovementCurve]:
+    """Curves for "All" plus each reported category, as Figure 9 plots."""
+    curves: dict[str, ImprovementCurve] = {
+        "All": improvement_curve(simulation, fcm_name, stride_name, steps=steps)
+    }
+    for category in categories:
+        curves[category.value] = improvement_curve(
+            simulation, fcm_name, stride_name, category=category, steps=steps
+        )
+    return curves
+
+
+def _per_pc_improvements(
+    simulation: SimulationResult,
+    fcm_name: str,
+    stride_name: str,
+    category: Category | None,
+) -> list[int]:
+    fcm = simulation.result_for(fcm_name)
+    stride = simulation.result_for(stride_name)
+    improvements: list[int] = []
+    for pc in simulation.pc_total:
+        if category is not None and simulation.pc_category.get(pc) is not category:
+            continue
+        improvements.append(fcm.pc_correct.get(pc, 0) - stride.pc_correct.get(pc, 0))
+    return improvements
+
+
+def combined_improvement_curve(
+    simulations: Sequence[SimulationResult],
+    fcm_name: str,
+    stride_name: str,
+    category: Category | None = None,
+    steps: int = 20,
+) -> ImprovementCurve:
+    """Figure 9 curve pooled over several benchmarks' static instructions."""
+    if not simulations:
+        raise SimulationError("cannot build an improvement curve from zero simulations")
+    improvements: list[int] = []
+    for simulation in simulations:
+        improvements.extend(
+            _per_pc_improvements(simulation, fcm_name, stride_name, category)
+        )
+    return _curve_from_improvements(improvements, steps=steps)
+
+
+def combined_improvement_curves_by_category(
+    simulations: Sequence[SimulationResult],
+    fcm_name: str,
+    stride_name: str,
+    categories: tuple[Category, ...] = REPORTED_CATEGORIES,
+    steps: int = 20,
+) -> dict[str, ImprovementCurve]:
+    """Pooled curves for "All" plus each reported category."""
+    curves = {
+        "All": combined_improvement_curve(simulations, fcm_name, stride_name, steps=steps)
+    }
+    for category in categories:
+        curves[category.value] = combined_improvement_curve(
+            simulations, fcm_name, stride_name, category=category, steps=steps
+        )
+    return curves

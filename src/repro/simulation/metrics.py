@@ -1,0 +1,86 @@
+"""Accuracy reporting across benchmarks and instruction categories.
+
+The paper reports prediction accuracy per benchmark (Figure 3) and per
+instruction category (Figures 4-7), and averages across benchmarks with the
+arithmetic mean "so each benchmark effectively contributes the same number of
+total predictions".  :class:`AccuracyReport` packages those views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.isa.opcodes import Category, REPORTED_CATEGORIES
+from repro.simulation.simulator import SimulationResult
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty input."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+@dataclass
+class AccuracyReport:
+    """Accuracy (%) per benchmark and per predictor, overall and by category."""
+
+    predictor_names: tuple[str, ...]
+    benchmark_names: tuple[str, ...]
+    #: overall[benchmark][predictor] -> accuracy %
+    overall: dict[str, dict[str, float]]
+    #: by_category[category][benchmark][predictor] -> accuracy %
+    by_category: dict[Category, dict[str, dict[str, float]]]
+
+    def mean_overall(self, predictor: str) -> float:
+        """Arithmetic mean accuracy of one predictor over all benchmarks."""
+        return arithmetic_mean(
+            self.overall[benchmark][predictor] for benchmark in self.benchmark_names
+        )
+
+    def mean_by_category(self, predictor: str, category: Category) -> float:
+        """Mean accuracy of one predictor for one category over benchmarks."""
+        rows = self.by_category.get(category, {})
+        return arithmetic_mean(
+            rows[benchmark][predictor] for benchmark in self.benchmark_names if benchmark in rows
+        )
+
+    def benchmark_series(self, predictor: str, category: Category | None = None) -> list[float]:
+        """Per-benchmark accuracy series for one predictor (a figure's bars)."""
+        if category is None:
+            return [self.overall[benchmark][predictor] for benchmark in self.benchmark_names]
+        rows = self.by_category.get(category, {})
+        return [
+            rows.get(benchmark, {}).get(predictor, 0.0) for benchmark in self.benchmark_names
+        ]
+
+
+def build_accuracy_report(
+    simulations: Mapping[str, SimulationResult],
+    categories: tuple[Category, ...] = REPORTED_CATEGORIES,
+) -> AccuracyReport:
+    """Aggregate per-benchmark simulation results into an accuracy report."""
+    benchmark_names = tuple(simulations)
+    predictor_names: tuple[str, ...] = ()
+    overall: dict[str, dict[str, float]] = {}
+    by_category: dict[Category, dict[str, dict[str, float]]] = {
+        category: {} for category in categories
+    }
+    for benchmark, simulation in simulations.items():
+        predictor_names = simulation.predictor_names
+        overall[benchmark] = {
+            name: simulation.results[name].accuracy for name in simulation.predictor_names
+        }
+        for category in categories:
+            by_category[category][benchmark] = {
+                name: simulation.results[name].category_accuracy(category)
+                for name in simulation.predictor_names
+            }
+    return AccuracyReport(
+        predictor_names=predictor_names,
+        benchmark_names=benchmark_names,
+        overall=overall,
+        by_category=by_category,
+    )

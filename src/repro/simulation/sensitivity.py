@@ -1,0 +1,93 @@
+"""Sensitivity studies (Section 4.4: Tables 6-7 and Figure 11).
+
+The paper examines, for the gcc benchmark, how context-based prediction
+accuracy responds to (a) different input files, (b) different compilation
+flags and (c) the predictor order.  These helpers run the corresponding
+sweeps on the synthetic workloads; they work for any benchmark, defaulting
+to gcc as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.simulator import simulate_trace
+from repro.workloads.suite import get_workload
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One row of a sensitivity table."""
+
+    setting: str
+    predictions: int
+    accuracy: float
+
+
+def input_sensitivity(
+    benchmark: str = "gcc",
+    predictor: str = "fcm2",
+    scale: float = 1.0,
+    inputs: tuple[str, ...] | None = None,
+) -> list[SensitivityPoint]:
+    """Accuracy of one predictor across the benchmark's input files (Table 6)."""
+    workload = get_workload(benchmark)
+    names = inputs if inputs is not None else workload.input_sets
+    points: list[SensitivityPoint] = []
+    for input_name in names:
+        trace = workload.trace(scale=scale, input_name=input_name)
+        result = simulate_trace(trace, (predictor,))
+        points.append(
+            SensitivityPoint(
+                setting=input_name,
+                predictions=len(trace),
+                accuracy=result.results[predictor].accuracy,
+            )
+        )
+    return points
+
+
+def flag_sensitivity(
+    benchmark: str = "gcc",
+    predictor: str = "fcm2",
+    scale: float = 1.0,
+    input_name: str | None = None,
+    flags: tuple[str, ...] | None = None,
+) -> list[SensitivityPoint]:
+    """Accuracy of one predictor across flag settings (Table 7)."""
+    workload = get_workload(benchmark)
+    names = flags if flags is not None else workload.flag_sets
+    points: list[SensitivityPoint] = []
+    for flag_setting in names:
+        trace = workload.trace(scale=scale, input_name=input_name, flags=flag_setting)
+        result = simulate_trace(trace, (predictor,))
+        points.append(
+            SensitivityPoint(
+                setting=flag_setting,
+                predictions=len(trace),
+                accuracy=result.results[predictor].accuracy,
+            )
+        )
+    return points
+
+
+def order_sensitivity(
+    benchmark: str = "gcc",
+    orders: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
+    scale: float = 1.0,
+    input_name: str | None = None,
+) -> dict[int, float]:
+    """Accuracy of blended fcm predictors of increasing order (Figure 11).
+
+    The trace is collected once and re-simulated with a fresh predictor per
+    order, exactly as the paper's experiment holds the input fixed and varies
+    only the order.
+    """
+    workload = get_workload(benchmark)
+    trace = workload.trace(scale=scale, input_name=input_name)
+    accuracies: dict[int, float] = {}
+    for order in orders:
+        name = f"fcm{order}"
+        result = simulate_trace(trace, (name,))
+        accuracies[order] = result.results[name].accuracy
+    return accuracies

@@ -1,0 +1,136 @@
+"""Trace-driven prediction simulation (Section 3 of the paper).
+
+For every record of a value trace and every predictor under study the
+simulator performs the paper's loop: look up the prediction for the record's
+PC, compare it with the true value, then immediately update the table with
+the true value.  All predictors see the same trace in lockstep, which also
+lets the simulator tabulate the joint outcomes needed by the predicted-set
+correlation analysis (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.base import ValuePredictor
+from repro.core.registry import create_predictor
+from repro.errors import SimulationError
+from repro.isa.opcodes import Category
+from repro.trace.stream import ValueTrace
+
+
+@dataclass
+class PredictorResult:
+    """Accuracy bookkeeping for one predictor over one trace."""
+
+    predictor: str
+    total: int = 0
+    correct: int = 0
+    category_total: dict[Category, int] = field(default_factory=dict)
+    category_correct: dict[Category, int] = field(default_factory=dict)
+    pc_correct: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        """Overall accuracy in percent."""
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.correct / self.total
+
+    def category_accuracy(self, category: Category) -> float:
+        """Accuracy in percent for one instruction category."""
+        total = self.category_total.get(category, 0)
+        if total == 0:
+            return 0.0
+        return 100.0 * self.category_correct.get(category, 0) / total
+
+
+@dataclass
+class SimulationResult:
+    """Joint result of simulating several predictors over one trace."""
+
+    trace_name: str
+    predictor_names: tuple[str, ...]
+    total_records: int
+    results: dict[str, PredictorResult]
+    pc_total: dict[int, int]
+    pc_category: dict[int, Category]
+    #: Joint outcome counts: tuple of per-predictor correctness -> count.
+    subset_counts: dict[tuple[bool, ...], int]
+    #: Joint outcome counts per instruction category.
+    subset_counts_by_category: dict[Category, dict[tuple[bool, ...], int]]
+
+    def result_for(self, predictor_name: str) -> PredictorResult:
+        """Return the per-predictor result, raising on unknown names."""
+        try:
+            return self.results[predictor_name]
+        except KeyError as exc:
+            raise SimulationError(
+                f"no result for predictor {predictor_name!r}; simulated: {self.predictor_names}"
+            ) from exc
+
+
+class PredictionSimulator:
+    """Runs one or more predictors over value traces."""
+
+    def __init__(self, predictors: dict[str, ValuePredictor]) -> None:
+        if not predictors:
+            raise SimulationError("at least one predictor is required")
+        self.predictors = predictors
+
+    @classmethod
+    def from_names(cls, names: tuple[str, ...] | list[str]) -> "PredictionSimulator":
+        """Build a simulator with fresh predictors from registry names."""
+        return cls({name: create_predictor(name) for name in names})
+
+    def run(self, trace: ValueTrace) -> SimulationResult:
+        """Simulate every configured predictor over ``trace``."""
+        names = tuple(self.predictors)
+        predictor_objects = [self.predictors[name] for name in names]
+        results = {name: PredictorResult(predictor=name) for name in names}
+        result_objects = [results[name] for name in names]
+        pc_total: dict[int, int] = {}
+        pc_category: dict[int, Category] = {}
+        subset_counts: dict[tuple[bool, ...], int] = {}
+        subset_by_category: dict[Category, dict[tuple[bool, ...], int]] = {}
+
+        for record in trace.records:
+            pc = record.pc
+            value = record.value
+            category = record.category
+            pc_total[pc] = pc_total.get(pc, 0) + 1
+            pc_category.setdefault(pc, category)
+            outcome: list[bool] = []
+            for predictor, result in zip(predictor_objects, result_objects):
+                correct = predictor.observe(pc, value, category)
+                outcome.append(correct)
+                result.total += 1
+                result.category_total[category] = result.category_total.get(category, 0) + 1
+                if correct:
+                    result.correct += 1
+                    result.category_correct[category] = (
+                        result.category_correct.get(category, 0) + 1
+                    )
+                    result.pc_correct[pc] = result.pc_correct.get(pc, 0) + 1
+            key = tuple(outcome)
+            subset_counts[key] = subset_counts.get(key, 0) + 1
+            per_category = subset_by_category.setdefault(category, {})
+            per_category[key] = per_category.get(key, 0) + 1
+
+        return SimulationResult(
+            trace_name=trace.name,
+            predictor_names=names,
+            total_records=len(trace),
+            results=results,
+            pc_total=pc_total,
+            pc_category=pc_category,
+            subset_counts=subset_counts,
+            subset_counts_by_category=subset_by_category,
+        )
+
+
+def simulate_trace(
+    trace: ValueTrace, predictor_names: tuple[str, ...] | list[str]
+) -> SimulationResult:
+    """Convenience wrapper: fresh predictors by name, one trace, one result."""
+    return PredictionSimulator.from_names(tuple(predictor_names)).run(trace)

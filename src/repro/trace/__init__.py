@@ -1,0 +1,33 @@
+"""Value-trace infrastructure.
+
+A value trace is the ordered sequence of ``(pc, opcode, category, value)``
+tuples produced by the register-writing instructions of one program run.
+Predictor simulations (:mod:`repro.simulation`) consume these traces; they
+can come from executing a synthetic workload on the ISA substrate
+(:class:`TraceCollector`) or be constructed directly for tests and
+micro-experiments (:mod:`repro.trace.synthetic`).
+"""
+
+from repro.trace.record import TraceRecord
+from repro.trace.stream import ValueTrace
+from repro.trace.collector import TraceCollector, collect_trace
+from repro.trace.io import dump_trace, load_trace, dumps_trace, loads_trace
+from repro.trace.synthetic import (
+    trace_from_values,
+    trace_from_streams,
+    interleave_traces,
+)
+
+__all__ = [
+    "TraceRecord",
+    "ValueTrace",
+    "TraceCollector",
+    "collect_trace",
+    "dump_trace",
+    "load_trace",
+    "dumps_trace",
+    "loads_trace",
+    "trace_from_values",
+    "trace_from_streams",
+    "interleave_traces",
+]

@@ -1,0 +1,101 @@
+"""Compact text (de)serialisation of value traces.
+
+Traces are stored as a small header followed by one line per record:
+``serial pc opcode value``.  Categories are recomputed from the opcode on
+load, so the format stays minimal and the Table 3 mapping remains the single
+source of truth.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.errors import TraceError
+from repro.isa.opcodes import Opcode, category_of
+from repro.trace.record import TraceRecord
+from repro.trace.stream import ValueTrace
+
+_FORMAT_VERSION = 1
+_HEADER_PREFIX = "#repro-trace"
+
+
+def dump_trace(trace: ValueTrace, destination: TextIO) -> None:
+    """Write ``trace`` to an open text stream."""
+    destination.write(
+        f"{_HEADER_PREFIX} v{_FORMAT_VERSION} name={trace.name} "
+        f"total={trace.total_dynamic_instructions} records={len(trace)}\n"
+    )
+    for record in trace:
+        destination.write(f"{record.serial} {record.pc} {record.opcode.value} {record.value}\n")
+
+
+def dumps_trace(trace: ValueTrace) -> str:
+    """Return the serialised form of ``trace`` as a string."""
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def load_trace(source: TextIO) -> ValueTrace:
+    """Read a trace previously written by :func:`dump_trace`."""
+    header = source.readline()
+    if not header.startswith(_HEADER_PREFIX):
+        raise TraceError("not a repro trace: missing header line")
+    fields = dict(
+        part.split("=", 1) for part in header.strip().split() if "=" in part
+    )
+    name = fields.get("name", "trace")
+    try:
+        total = int(fields["total"])
+        expected_records = int(fields["records"])
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"malformed trace header: {header!r}") from exc
+
+    records: list[TraceRecord] = []
+    for line_number, line in enumerate(source, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise TraceError(f"malformed trace record on line {line_number}: {line!r}")
+        try:
+            serial, pc, value = int(parts[0]), int(parts[1]), int(parts[3])
+            opcode = Opcode(parts[2])
+        except ValueError as exc:
+            raise TraceError(f"malformed trace record on line {line_number}: {line!r}") from exc
+        records.append(
+            TraceRecord(
+                serial=serial,
+                pc=pc,
+                opcode=opcode,
+                category=category_of(opcode),
+                value=value,
+            )
+        )
+    if len(records) != expected_records:
+        raise TraceError(
+            f"trace record count mismatch: header says {expected_records}, found {len(records)}"
+        )
+    trace = ValueTrace(name, records)
+    trace.set_total_dynamic_instructions(total)
+    return trace
+
+
+def loads_trace(text: str) -> ValueTrace:
+    """Parse a trace from a string produced by :func:`dumps_trace`."""
+    return load_trace(io.StringIO(text))
+
+
+def save_trace_file(trace: ValueTrace, path: str | Path) -> None:
+    """Serialise ``trace`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        dump_trace(trace, handle)
+
+
+def load_trace_file(path: str | Path) -> ValueTrace:
+    """Load a trace previously saved with :func:`save_trace_file`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_trace(handle)

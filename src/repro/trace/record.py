@@ -1,0 +1,37 @@
+"""The atomic unit of a value trace: one predicted dynamic instruction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Category, Opcode
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dynamic, register-writing instruction in a value trace.
+
+    Attributes
+    ----------
+    serial:
+        Position of the instruction in the *full* dynamic instruction stream
+        (including non-predicted instructions); monotonically increasing.
+    pc:
+        Program counter of the static instruction.  Predictors index their
+        tables by this value (the paper uses only the PC for table access).
+    opcode:
+        The instruction's opcode.
+    category:
+        The reporting category (Table 3).
+    value:
+        The result value written to the destination register.
+    """
+
+    serial: int
+    pc: int
+    opcode: Opcode
+    category: Category
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.serial} pc={self.pc:#x} {self.opcode.value} -> {self.value}"

@@ -1,0 +1,158 @@
+"""Container for value traces, with summary statistics.
+
+A :class:`ValueTrace` is an immutable-by-convention list of
+:class:`TraceRecord` objects plus the name of the workload that produced it
+and the number of dynamic instructions retired in total (needed to report the
+"fraction predicted" column of Table 2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import TraceError
+from repro.isa.opcodes import Category
+from repro.trace.record import TraceRecord
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate statistics of a trace."""
+
+    name: str
+    total_dynamic_instructions: int
+    predicted_instructions: int
+    static_instruction_count: int
+    category_dynamic_counts: dict[Category, int]
+    category_static_counts: dict[Category, int]
+
+    @property
+    def fraction_predicted(self) -> float:
+        """Fraction of all dynamic instructions that are predicted."""
+        if self.total_dynamic_instructions == 0:
+            return 0.0
+        return self.predicted_instructions / self.total_dynamic_instructions
+
+    def category_dynamic_percentages(self) -> dict[Category, float]:
+        """Dynamic share of each category among predicted instructions (%)"""
+        if self.predicted_instructions == 0:
+            return {category: 0.0 for category in self.category_dynamic_counts}
+        return {
+            category: 100.0 * count / self.predicted_instructions
+            for category, count in self.category_dynamic_counts.items()
+        }
+
+
+class ValueTrace:
+    """An ordered collection of predicted-instruction trace records."""
+
+    def __init__(
+        self,
+        name: str,
+        records: Sequence[TraceRecord] | Iterable[TraceRecord] = (),
+        total_dynamic_instructions: int | None = None,
+    ) -> None:
+        self.name = name
+        self._records: list[TraceRecord] = list(records)
+        self._total_dynamic_instructions = total_dynamic_instructions
+
+    # ------------------------------------------------------------------ #
+    # Mutation (used only while a trace is being collected)
+    # ------------------------------------------------------------------ #
+    def append(self, record: TraceRecord) -> None:
+        """Append a record to the trace (collection-time only)."""
+        self._records.append(record)
+
+    def set_total_dynamic_instructions(self, total: int) -> None:
+        """Record the total dynamic instruction count of the producing run."""
+        if total < len(self._records):
+            raise TraceError(
+                "total dynamic instructions cannot be smaller than the number of "
+                f"predicted records ({total} < {len(self._records)})"
+            )
+        self._total_dynamic_instructions = total
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The trace records in program order."""
+        return self._records
+
+    @property
+    def total_dynamic_instructions(self) -> int:
+        """Total dynamic instructions (predicted + non-predicted)."""
+        if self._total_dynamic_instructions is None:
+            return len(self._records)
+        return self._total_dynamic_instructions
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ValueTrace(
+                self.name,
+                self._records[index],
+                total_dynamic_instructions=None,
+            )
+        return self._records[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def static_pcs(self) -> list[int]:
+        """Distinct static PCs appearing in the trace, in first-seen order."""
+        seen: dict[int, None] = {}
+        for record in self._records:
+            if record.pc not in seen:
+                seen[record.pc] = None
+        return list(seen)
+
+    def values_by_pc(self) -> dict[int, list[int]]:
+        """Map each static PC to the ordered list of values it produced."""
+        grouped: dict[int, list[int]] = defaultdict(list)
+        for record in self._records:
+            grouped[record.pc].append(record.value)
+        return dict(grouped)
+
+    def filter_category(self, category: Category) -> "ValueTrace":
+        """Return a sub-trace containing only the given category."""
+        return ValueTrace(
+            f"{self.name}:{category.value}",
+            [record for record in self._records if record.category is category],
+        )
+
+    def category_counts(self) -> Counter:
+        """Dynamic record count per category."""
+        return Counter(record.category for record in self._records)
+
+    def statistics(self) -> TraceStatistics:
+        """Compute the Table 2 / Tables 4-5 style statistics for this trace."""
+        dynamic_counts: Counter = Counter()
+        static_pcs_by_category: dict[Category, set[int]] = defaultdict(set)
+        for record in self._records:
+            dynamic_counts[record.category] += 1
+            static_pcs_by_category[record.category].add(record.pc)
+        return TraceStatistics(
+            name=self.name,
+            total_dynamic_instructions=self.total_dynamic_instructions,
+            predicted_instructions=len(self._records),
+            static_instruction_count=len(self.static_pcs()),
+            category_dynamic_counts=dict(dynamic_counts),
+            category_static_counts={
+                category: len(pcs) for category, pcs in static_pcs_by_category.items()
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ValueTrace(name={self.name!r}, records={len(self._records)})"

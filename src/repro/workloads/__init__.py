@@ -1,0 +1,46 @@
+"""Synthetic SPEC95int-like workloads (the paper's benchmark substitute).
+
+The paper traces seven integer SPEC95 programs through SimpleScalar.  Those
+binaries and inputs are not redistributable, so this package provides seven
+synthetic workloads — one per SPEC95int benchmark — written against the
+:mod:`repro.isa` program builder.  Each mimics the dominant kernels of its
+namesake (hashing for compress, IR walking and jump-table dispatch for gcc,
+board evaluation for go, DCT-style block transforms for ijpeg, a
+fetch/decode/execute loop for m88ksim, string hashing and bytecode dispatch
+for perl, cons-cell recursion and garbage collection for xlisp), so the
+per-category instruction mixes and the classes of value sequences the
+predictors see match the behaviour the paper reports.
+"""
+
+from repro.workloads.base import Workload, WorkloadRun
+from repro.workloads.compress import CompressWorkload
+from repro.workloads.gcc import GccWorkload
+from repro.workloads.go import GoWorkload
+from repro.workloads.ijpeg import IjpegWorkload
+from repro.workloads.m88ksim import M88ksimWorkload
+from repro.workloads.perl import PerlWorkload
+from repro.workloads.xlisp import XlispWorkload
+from repro.workloads.suite import (
+    SUITE,
+    BENCHMARK_ORDER,
+    get_workload,
+    available_workloads,
+    run_suite,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadRun",
+    "CompressWorkload",
+    "GccWorkload",
+    "GoWorkload",
+    "IjpegWorkload",
+    "M88ksimWorkload",
+    "PerlWorkload",
+    "XlispWorkload",
+    "SUITE",
+    "BENCHMARK_ORDER",
+    "get_workload",
+    "available_workloads",
+    "run_suite",
+]

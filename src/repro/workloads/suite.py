@@ -1,0 +1,75 @@
+"""The benchmark suite: registry and whole-suite execution.
+
+:data:`BENCHMARK_ORDER` mirrors the ordering the paper uses on its x-axes
+(compress, gcc/cc1, go, ijpeg, m88ksim, perl, xlisp).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import Workload, WorkloadRun
+from repro.workloads.compress import CompressWorkload
+from repro.workloads.gcc import GccWorkload
+from repro.workloads.go import GoWorkload
+from repro.workloads.ijpeg import IjpegWorkload
+from repro.workloads.m88ksim import M88ksimWorkload
+from repro.workloads.perl import PerlWorkload
+from repro.workloads.xlisp import XlispWorkload
+
+#: Benchmark order used across the paper's figures.
+BENCHMARK_ORDER: tuple[str, ...] = (
+    "compress",
+    "gcc",
+    "go",
+    "ijpeg",
+    "m88ksim",
+    "perl",
+    "xlisp",
+)
+
+#: The workload registry, keyed by benchmark name.
+SUITE: dict[str, Workload] = {
+    workload.name: workload
+    for workload in (
+        CompressWorkload(),
+        GccWorkload(),
+        GoWorkload(),
+        IjpegWorkload(),
+        M88ksimWorkload(),
+        PerlWorkload(),
+        XlispWorkload(),
+    )
+}
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Return the benchmark names in the paper's presentation order."""
+    return BENCHMARK_ORDER
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by benchmark name."""
+    try:
+        return SUITE[name]
+    except KeyError as exc:
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; available: {', '.join(BENCHMARK_ORDER)}"
+        ) from exc
+
+
+def run_suite(
+    scale: float = 1.0,
+    benchmarks: Iterable[str] | None = None,
+) -> dict[str, WorkloadRun]:
+    """Run every (or a subset of the) benchmark(s) at the given scale.
+
+    Returns a mapping from benchmark name to its :class:`WorkloadRun`, in the
+    paper's presentation order.
+    """
+    names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_ORDER
+    runs: dict[str, WorkloadRun] = {}
+    for name in names:
+        runs[name] = get_workload(name).run(scale=scale)
+    return runs

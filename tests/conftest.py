@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite.
+
+Suite-wide artefacts (campaign, traces) are expensive to produce, so they are
+session-scoped and use the reduced ``QUICK_SCALE``; individual unit tests
+construct their own tiny traces instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import PAPER_PREDICTORS
+from repro.simulation.campaign import QUICK_SCALE, run_campaign
+from repro.workloads.suite import get_workload
+
+
+@pytest.fixture(scope="session")
+def quick_campaign():
+    """One full-suite campaign with the paper's predictors at quick scale."""
+    return run_campaign(scale=QUICK_SCALE, predictors=PAPER_PREDICTORS)
+
+
+@pytest.fixture(scope="session")
+def compress_trace():
+    """A small compress trace used by several simulation tests."""
+    return get_workload("compress").trace(scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def m88ksim_trace():
+    """A small m88ksim trace (the most predictable benchmark)."""
+    return get_workload("m88ksim").trace(scale=0.05)

@@ -1,0 +1,90 @@
+"""Tests for the predictor base interface (Prediction, stats, observe loop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import NO_PREDICTION, Prediction, PredictorStats
+from repro.core.last_value import LastValuePredictor
+from repro.isa.opcodes import Category
+
+
+class TestPrediction:
+    def test_confident_when_value_present(self):
+        assert Prediction(7).confident
+
+    def test_not_confident_when_value_missing(self):
+        assert not Prediction(None).confident
+
+    def test_correctness_requires_exact_match(self):
+        assert Prediction(7).is_correct(7)
+        assert not Prediction(7).is_correct(8)
+
+    def test_no_prediction_is_never_correct(self):
+        assert not NO_PREDICTION.is_correct(0)
+
+    def test_no_prediction_singleton_is_unconfident(self):
+        assert NO_PREDICTION.value is None
+
+
+class TestPredictorStats:
+    def test_accuracy_of_empty_stats_is_zero(self):
+        assert PredictorStats().accuracy == 0.0
+
+    def test_record_counts_correct_and_incorrect(self):
+        stats = PredictorStats()
+        assert stats.record(Prediction(5), 5, Category.ADDSUB) is True
+        assert stats.record(Prediction(5), 6, Category.ADDSUB) is False
+        assert stats.lookups == 2
+        assert stats.correct == 1
+        assert stats.accuracy == pytest.approx(0.5)
+
+    def test_record_tracks_missing_predictions(self):
+        stats = PredictorStats()
+        stats.record(NO_PREDICTION, 1, None)
+        assert stats.no_prediction == 1
+        assert stats.correct == 0
+
+    def test_per_category_accounting(self):
+        stats = PredictorStats()
+        stats.record(Prediction(1), 1, Category.LOADS)
+        stats.record(Prediction(2), 3, Category.LOADS)
+        stats.record(Prediction(4), 4, Category.SHIFT)
+        assert stats.per_category_lookups[Category.LOADS] == 2
+        assert stats.per_category_correct[Category.LOADS] == 1
+        assert stats.per_category_correct[Category.SHIFT] == 1
+
+
+class TestObserveLoop:
+    def test_observe_predicts_then_updates(self):
+        predictor = LastValuePredictor()
+        # First observation: no prediction possible, table becomes populated.
+        assert predictor.observe(pc=0, actual=42) is False
+        # Second observation of the same value: correct.
+        assert predictor.observe(pc=0, actual=42) is True
+
+    def test_observe_updates_stats(self):
+        predictor = LastValuePredictor()
+        predictor.observe(0, 1)
+        predictor.observe(0, 1)
+        predictor.observe(0, 2)
+        assert predictor.stats.lookups == 3
+        assert predictor.stats.correct == 1
+        assert predictor.stats.updates == 3
+
+    def test_reset_clears_tables_and_stats(self):
+        predictor = LastValuePredictor()
+        predictor.observe(0, 1)
+        predictor.observe(0, 1)
+        predictor.reset()
+        assert predictor.table_entries() == 0
+        assert predictor.stats.lookups == 0
+        assert predictor.observe(0, 1) is False
+
+    def test_distinct_pcs_use_distinct_entries(self):
+        predictor = LastValuePredictor()
+        predictor.observe(0, 10)
+        predictor.observe(4, 20)
+        assert predictor.predict(0).value == 10
+        assert predictor.predict(4).value == 20
+        assert predictor.table_entries() == 2

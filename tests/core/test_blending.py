@@ -1,0 +1,126 @@
+"""Tests for the blended FCM predictor (lazy exclusion, the paper's fcm)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blending import BlendedFcmPredictor
+from repro.core.fcm import FcmPredictor
+from repro.errors import PredictorConfigError
+from repro.sequences.generators import (
+    constant_sequence,
+    repeated_non_stride_sequence,
+    repeated_stride_sequence,
+)
+
+
+def run(predictor, values, pc=0):
+    return [predictor.observe(pc, value) for value in values]
+
+
+class TestBlendedPrediction:
+    def test_constant_sequence_predicted_quickly(self):
+        outcomes = run(BlendedFcmPredictor(order=3), constant_sequence(10))
+        # Blending falls back to order 0, so prediction starts with the
+        # second value rather than waiting for a full order-3 context.
+        assert outcomes[1:] == [True] * 9
+
+    def test_repeated_stride_perfect_after_learning(self):
+        values = repeated_stride_sequence(24, period=4)
+        outcomes = run(BlendedFcmPredictor(order=3), values)
+        assert all(outcomes[8:])
+
+    def test_repeated_non_stride_perfect_after_learning(self):
+        values = repeated_non_stride_sequence(24, period=5, seed=11)
+        outcomes = run(BlendedFcmPredictor(order=3), values)
+        assert all(outcomes[11:])
+
+    def test_highest_matching_order_supplies_prediction(self):
+        predictor = BlendedFcmPredictor(order=2)
+        for value in [1, 2, 3, 1, 2, 3, 1, 2]:
+            predictor.observe(0, value)
+        assert predictor.matched_order(0) == 2
+        assert predictor.predict(0).value == 3
+
+    def test_falls_back_to_lower_order_on_unseen_context(self):
+        predictor = BlendedFcmPredictor(order=2)
+        for value in [1, 2, 3, 1, 2, 3]:
+            predictor.observe(0, value)
+        # Present an unseen pair ending in a known single value.
+        predictor.observe(0, 9)
+        predictor.observe(0, 3)
+        # Context (9, 3) was never seen at order 2, but 3 was seen at order 1.
+        assert predictor.matched_order(0) < 2
+        assert predictor.predict(0).confident
+
+    def test_unknown_pc_gives_no_prediction(self):
+        assert not BlendedFcmPredictor(order=3).predict(1234).confident
+
+
+class TestUpdatePolicies:
+    def test_lazy_exclusion_skips_lower_orders_once_matched(self):
+        predictor = BlendedFcmPredictor(order=2, update_policy="lazy-exclusion")
+        for value in [1, 2, 1, 2, 1, 2, 1, 2]:
+            predictor.observe(0, value)
+        order0 = predictor.contexts_for(0, 0)
+        order2 = predictor.contexts_for(0, 2)
+        # The order-2 table keeps accumulating, while the order-0 counts stop
+        # growing once higher orders match.
+        assert sum(sum(c.values()) for c in order2.values()) >= 1
+        assert sum(sum(c.values()) for c in order0.values()) < 8
+
+    def test_full_blending_updates_every_order(self):
+        predictor = BlendedFcmPredictor(order=2, update_policy="full")
+        for value in [1, 2, 1, 2, 1, 2, 1, 2]:
+            predictor.observe(0, value)
+        order0_counts = sum(
+            sum(counts.values()) for counts in predictor.contexts_for(0, 0).values()
+        )
+        assert order0_counts == 8
+
+    def test_accuracy_comparable_between_policies_on_repeating_data(self):
+        values = repeated_stride_sequence(40, period=4)
+        lazy = sum(run(BlendedFcmPredictor(order=3), values))
+        full = sum(run(BlendedFcmPredictor(order=3, update_policy="full"), values))
+        assert abs(lazy - full) <= 4
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            BlendedFcmPredictor(order=2, update_policy="eager")
+
+
+class TestAgainstSingleOrderFcm:
+    def test_blended_at_least_as_good_on_mixed_sequences(self):
+        # A sequence whose repetition period is shorter than the top order:
+        # the single order-3 predictor wastes its longer context, blending
+        # falls back gracefully.
+        values = ([3, 7] * 20)
+        blended = sum(run(BlendedFcmPredictor(order=3), values))
+        single = sum(run(FcmPredictor(order=3), values))
+        assert blended >= single
+
+    def test_order_zero_blend_equals_single_order_zero(self):
+        values = [1, 1, 2, 1, 1, 2, 1, 1]
+        blended = run(BlendedFcmPredictor(order=0), list(values))
+        single = run(FcmPredictor(order=0), list(values))
+        assert blended == single
+
+
+class TestConfiguration:
+    def test_negative_order_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            BlendedFcmPredictor(order=-2)
+
+    def test_invalid_counter_max_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            BlendedFcmPredictor(order=2, counter_max=0)
+
+    def test_name_encodes_order(self):
+        assert BlendedFcmPredictor(order=3).name == "fcm3"
+
+    def test_storage_cells_counts_all_orders(self):
+        predictor = BlendedFcmPredictor(order=2)
+        for value in [1, 2, 3, 1, 2, 3]:
+            predictor.observe(0, value)
+        assert predictor.storage_cells() > 0
+        assert predictor.table_entries() == 1

@@ -1,0 +1,126 @@
+"""Tests for the single fixed-order finite context method predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fcm import FcmPredictor, select_maximum_count
+from repro.errors import PredictorConfigError
+from repro.sequences.generators import (
+    repeated_non_stride_sequence,
+    repeated_stride_sequence,
+)
+
+
+def run(predictor, values, pc=0):
+    return [predictor.observe(pc, value) for value in values]
+
+
+class TestSelectMaximumCount:
+    def test_picks_largest_count(self):
+        assert select_maximum_count({1: 3, 2: 9, 3: 1}, recent_value=None) == 2
+
+    def test_tie_broken_towards_recent_value(self):
+        assert select_maximum_count({1: 4, 2: 4}, recent_value=2) == 2
+
+    def test_tie_without_recency_hint_returns_some_candidate(self):
+        assert select_maximum_count({1: 4, 2: 4}, recent_value=None) in (1, 2)
+
+
+class TestOrderKBehaviour:
+    def test_order0_predicts_most_frequent_value(self):
+        predictor = FcmPredictor(order=0)
+        for value in [5, 5, 5, 9]:
+            predictor.observe(0, value)
+        assert predictor.predict(0).value == 5
+
+    def test_paper_figure1_counts_order1(self):
+        # Sequence from Figure 1: a a a b c a a a b c a a a  (a=1, b=2, c=3).
+        values = [1, 1, 1, 2, 3, 1, 1, 1, 2, 3, 1, 1, 1]
+        predictor = FcmPredictor(order=1)
+        for value in values:
+            predictor.update(0, value)
+        contexts = predictor.contexts_for(0)
+        assert contexts[(1,)] == {1: 6, 2: 2}
+        assert contexts[(2,)] == {3: 2}
+        assert contexts[(3,)] == {1: 2}
+        assert predictor.predict(0).value == 1
+
+    def test_paper_figure1_prediction_order3(self):
+        # The order-3 model is the one that correctly predicts 'b' next.
+        values = [1, 1, 1, 2, 3, 1, 1, 1, 2, 3, 1, 1, 1]
+        predictor = FcmPredictor(order=3)
+        for value in values:
+            predictor.update(0, value)
+        assert predictor.predict(0).value == 2
+
+    def test_repeated_stride_learned_after_one_period(self):
+        values = repeated_stride_sequence(20, period=4)
+        outcomes = run(FcmPredictor(order=2), values)
+        # Learning takes roughly period + order values; afterwards the
+        # predictions are perfect (Table 1 / Figure 2 behaviour).
+        assert all(outcomes[8:])
+
+    def test_repeated_non_stride_learned(self):
+        values = repeated_non_stride_sequence(24, period=4, seed=3)
+        outcomes = run(FcmPredictor(order=2), values)
+        assert all(outcomes[8:])
+
+    def test_non_repeating_stride_not_predicted(self):
+        outcomes = run(FcmPredictor(order=2), list(range(0, 40, 3)))
+        assert not any(outcomes)
+
+    def test_no_prediction_before_context_fills(self):
+        predictor = FcmPredictor(order=3)
+        predictor.observe(0, 1)
+        predictor.observe(0, 2)
+        assert not predictor.predict(0).confident
+
+
+class TestSmallCounters:
+    def test_counts_are_halved_at_saturation(self):
+        predictor = FcmPredictor(order=1, counter_max=4)
+        for _ in range(6):
+            predictor.observe(0, 5)
+        counts = predictor.contexts_for(0)[(5,)]
+        assert max(counts.values()) < 6
+
+    def test_small_counters_favour_recent_behaviour(self):
+        # After a long run of value A followed by a run of value B, the small
+        # counter variant switches its prediction to B sooner than exact counts.
+        def run_with(counter_max):
+            predictor = FcmPredictor(order=0, counter_max=counter_max)
+            for value in [1] * 40 + [2] * 12:
+                predictor.observe(0, value)
+            return predictor.predict(0).value
+
+        assert run_with(None) == 1
+        assert run_with(4) == 2
+
+    def test_invalid_counter_max_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            FcmPredictor(order=1, counter_max=1)
+
+
+class TestIntrospectionAndConfig:
+    def test_negative_order_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            FcmPredictor(order=-1)
+
+    def test_history_is_bounded_by_order(self):
+        predictor = FcmPredictor(order=2)
+        for value in range(10):
+            predictor.observe(0, value)
+        assert predictor.history_for(0) == (8, 9)
+
+    def test_contexts_and_history_empty_for_unknown_pc(self):
+        predictor = FcmPredictor(order=2)
+        assert predictor.contexts_for(123) == {}
+        assert predictor.history_for(123) == ()
+
+    def test_storage_cells_grow_with_learning(self):
+        predictor = FcmPredictor(order=1)
+        before = predictor.storage_cells()
+        for value in [1, 2, 3, 1, 2, 3]:
+            predictor.observe(0, value)
+        assert predictor.storage_cells() > before

@@ -1,0 +1,134 @@
+"""Tests for hybrid predictors and chooser policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blending import BlendedFcmPredictor
+from repro.core.hybrid import (
+    CategoryChooser,
+    HybridPredictor,
+    OracleChooser,
+    PcChooser,
+)
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import TwoDeltaStridePredictor
+from repro.errors import PredictorConfigError
+from repro.isa.opcodes import Category
+from repro.sequences.generators import repeated_non_stride_sequence, stride_sequence
+
+
+def run(predictor, values, pc=0, category=None):
+    return [predictor.observe(pc, value, category) for value in values]
+
+
+def make_stride_fcm_hybrid(chooser=None):
+    components = [TwoDeltaStridePredictor(), BlendedFcmPredictor(order=3)]
+    return HybridPredictor(components, chooser or PcChooser(num_components=2))
+
+
+class TestPcChooser:
+    def test_hybrid_learns_to_follow_the_better_component(self):
+        hybrid = make_stride_fcm_hybrid()
+        # A pure stride sequence: the stride component should dominate.
+        outcomes = run(hybrid, stride_sequence(40))
+        assert sum(outcomes) >= 35
+        breakdown = hybrid.selection_breakdown()
+        assert breakdown["s2"] > breakdown["fcm3"]
+
+    def test_hybrid_tracks_fcm_on_repeated_non_stride(self):
+        hybrid = make_stride_fcm_hybrid()
+        values = repeated_non_stride_sequence(60, period=5, seed=2)
+        outcomes = run(hybrid, values)
+        # After learning, predictions should follow the fcm component.
+        assert sum(outcomes[20:]) >= 35
+
+    def test_per_pc_choice_is_independent(self):
+        hybrid = make_stride_fcm_hybrid()
+        stride_values = stride_sequence(30)
+        rns_values = repeated_non_stride_sequence(30, period=4, seed=5)
+        for s_value, r_value in zip(stride_values, rns_values):
+            hybrid.observe(0, s_value)
+            hybrid.observe(4, r_value)
+        assert hybrid.predict(0).confident
+        assert hybrid.predict(4).confident
+
+    def test_chooser_configuration_validated(self):
+        with pytest.raises(PredictorConfigError):
+            PcChooser(num_components=1)
+        with pytest.raises(PredictorConfigError):
+            PcChooser(num_components=2, score_max=0)
+
+
+class TestCategoryChooser:
+    def test_routing_by_category(self):
+        last_value = LastValuePredictor()
+        stride = TwoDeltaStridePredictor()
+        chooser = CategoryChooser({Category.ADDSUB: 1, Category.LOADS: 0})
+        hybrid = HybridPredictor([last_value, stride], chooser)
+        # Train both components on a stride sequence at the same PC.
+        for value in stride_sequence(10):
+            hybrid.observe(0, value, Category.ADDSUB)
+        # AddSub routes to the stride component, which predicts the next value;
+        # Loads routes to last value, which repeats the previous one.
+        assert hybrid.predict(0, Category.ADDSUB).value == 11
+        assert hybrid.predict(0, Category.LOADS).value == 10
+
+    def test_unknown_category_uses_default(self):
+        chooser = CategoryChooser({Category.ADDSUB: 1}, default=0)
+        hybrid = HybridPredictor([LastValuePredictor(), TwoDeltaStridePredictor()], chooser)
+        for value in stride_sequence(6):
+            hybrid.observe(0, value, Category.SHIFT)
+        assert hybrid.predict(0, Category.SHIFT).value == 6  # last value component
+
+
+class TestOracleChooser:
+    def test_oracle_correct_if_any_component_correct(self):
+        hybrid = HybridPredictor(
+            [LastValuePredictor(), TwoDeltaStridePredictor()], OracleChooser()
+        )
+        outcomes = run(hybrid, stride_sequence(20))
+        # The stride component is perfect after two values, so the oracle is too.
+        assert outcomes[2:] == [True] * 18
+
+    def test_oracle_upper_bounds_each_component(self):
+        values = repeated_non_stride_sequence(40, period=4, seed=9)
+        last_value = LastValuePredictor()
+        stride = TwoDeltaStridePredictor()
+        oracle = HybridPredictor(
+            [LastValuePredictor(), TwoDeltaStridePredictor()], OracleChooser()
+        )
+        lv_correct = sum(run(last_value, list(values)))
+        stride_correct = sum(run(stride, list(values)))
+        oracle_correct = sum(run(oracle, list(values)))
+        assert oracle_correct >= max(lv_correct, stride_correct)
+
+
+class TestHybridStructure:
+    def test_requires_at_least_two_components(self):
+        with pytest.raises(PredictorConfigError):
+            HybridPredictor([LastValuePredictor()], PcChooser(num_components=2))
+
+    def test_update_trains_all_components(self):
+        hybrid = make_stride_fcm_hybrid()
+        for value in stride_sequence(6):
+            hybrid.update(0, value)
+        for component in hybrid.components:
+            assert component.predictor.table_entries() == 1
+
+    def test_reset_clears_components_and_chooser(self):
+        hybrid = make_stride_fcm_hybrid()
+        run(hybrid, stride_sequence(10))
+        hybrid.reset()
+        assert hybrid.table_entries() == 0
+        assert hybrid.selection_breakdown() == {"s2": 0, "fcm3": 0}
+
+    def test_storage_is_sum_of_components(self):
+        hybrid = make_stride_fcm_hybrid()
+        run(hybrid, stride_sequence(10))
+        expected = sum(c.predictor.storage_cells() for c in hybrid.components)
+        assert hybrid.storage_cells() == expected
+
+    def test_default_name_lists_components(self):
+        hybrid = make_stride_fcm_hybrid()
+        assert "s2" in hybrid.name and "fcm3" in hybrid.name

@@ -1,0 +1,108 @@
+"""Tests for last value prediction and its hysteresis variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.last_value import LastValuePredictor
+from repro.errors import PredictorConfigError
+from repro.sequences.analysis import measure_learning
+
+
+def run(predictor, values, pc=0):
+    return [predictor.observe(pc, value) for value in values]
+
+
+class TestAlwaysUpdate:
+    def test_constant_sequence_is_predicted_after_first_value(self):
+        outcomes = run(LastValuePredictor(), [5, 5, 5, 5, 5])
+        assert outcomes == [False, True, True, True, True]
+
+    def test_alternating_sequence_is_never_predicted(self):
+        outcomes = run(LastValuePredictor(), [1, 2, 1, 2, 1, 2])
+        assert not any(outcomes)
+
+    def test_stride_sequence_is_never_predicted(self):
+        outcomes = run(LastValuePredictor(), [1, 2, 3, 4, 5])
+        assert not any(outcomes)
+
+    def test_prediction_tracks_most_recent_value(self):
+        predictor = LastValuePredictor()
+        predictor.observe(0, 3)
+        predictor.observe(0, 9)
+        assert predictor.predict(0).value == 9
+
+    def test_learning_profile_on_constant_matches_table1(self):
+        profile = measure_learning(LastValuePredictor(), [5] * 32)
+        assert profile.learning_time == 1
+        assert profile.learning_degree == pytest.approx(100.0)
+
+
+class TestCounterHysteresis:
+    def test_value_survives_a_single_glitch(self):
+        predictor = LastValuePredictor(hysteresis="counter", counter_max=3, counter_threshold=2)
+        for _ in range(4):
+            predictor.observe(0, 7)
+        # One divergent value: the counter drops but stays >= threshold, so
+        # the stored prediction remains 7.
+        predictor.observe(0, 99)
+        assert predictor.predict(0).value == 7
+
+    def test_persistent_new_value_eventually_replaces(self):
+        predictor = LastValuePredictor(hysteresis="counter", counter_max=3, counter_threshold=2)
+        predictor.observe(0, 7)
+        for _ in range(6):
+            predictor.observe(0, 99)
+        assert predictor.predict(0).value == 99
+
+    def test_storage_counts_counter_cells(self):
+        predictor = LastValuePredictor(hysteresis="counter")
+        predictor.observe(0, 1)
+        predictor.observe(4, 1)
+        assert predictor.storage_cells() == 4
+
+
+class TestConsecutiveHysteresis:
+    def test_replacement_requires_consecutive_occurrences(self):
+        predictor = LastValuePredictor(hysteresis="consecutive", required_run=2)
+        predictor.observe(0, 7)
+        predictor.observe(0, 99)   # first occurrence: no replacement yet
+        assert predictor.predict(0).value == 7
+        predictor.observe(0, 99)   # second consecutive occurrence: replace
+        assert predictor.predict(0).value == 99
+
+    def test_interrupted_run_does_not_replace(self):
+        predictor = LastValuePredictor(hysteresis="consecutive", required_run=3)
+        predictor.observe(0, 7)
+        predictor.observe(0, 99)
+        predictor.observe(0, 98)
+        predictor.observe(0, 99)
+        assert predictor.predict(0).value == 7
+
+    def test_seeing_the_stored_value_resets_the_candidate_run(self):
+        predictor = LastValuePredictor(hysteresis="consecutive", required_run=2)
+        predictor.observe(0, 7)
+        predictor.observe(0, 99)
+        predictor.observe(0, 7)
+        predictor.observe(0, 99)
+        assert predictor.predict(0).value == 7
+
+
+class TestConfiguration:
+    def test_unknown_hysteresis_policy_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            LastValuePredictor(hysteresis="bogus")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"counter_max": 0},
+        {"counter_threshold": 0},
+        {"counter_threshold": 9, "counter_max": 3},
+        {"required_run": 0},
+    ])
+    def test_invalid_numeric_parameters_rejected(self, kwargs):
+        with pytest.raises(PredictorConfigError):
+            LastValuePredictor(hysteresis="counter" if "counter" in str(kwargs) else "consecutive", **kwargs)
+
+    def test_name_reflects_hysteresis_policy(self):
+        assert LastValuePredictor().name == "last-value"
+        assert LastValuePredictor(hysteresis="counter").name == "last-value-counter"

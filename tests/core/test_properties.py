@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the predictor invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blending import BlendedFcmPredictor
+from repro.core.fcm import FcmPredictor
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import SimpleStridePredictor, TwoDeltaStridePredictor
+
+values_lists = st.lists(st.integers(min_value=-(2**40), max_value=2**40), min_size=1, max_size=60)
+small_values_lists = st.lists(st.integers(min_value=-8, max_value=8), min_size=1, max_size=60)
+
+
+@given(values=values_lists)
+@settings(max_examples=60, deadline=None)
+def test_last_value_accuracy_equals_immediate_repeat_rate(values):
+    """Always-update last value is correct exactly when a value repeats."""
+    predictor = LastValuePredictor()
+    outcomes = [predictor.observe(0, value) for value in values]
+    expected = [False] + [values[i] == values[i - 1] for i in range(1, len(values))]
+    assert outcomes == expected
+
+
+@given(start=st.integers(-1000, 1000), stride=st.integers(-50, 50), length=st.integers(3, 60))
+@settings(max_examples=60, deadline=None)
+def test_stride_predictors_are_perfect_on_stride_sequences(start, stride, length):
+    """Any arithmetic sequence is predicted exactly after two observations."""
+    values = [start + i * stride for i in range(length)]
+    for predictor in (SimpleStridePredictor(), TwoDeltaStridePredictor()):
+        outcomes = [predictor.observe(0, value) for value in values]
+        assert all(outcomes[2:])
+
+
+@given(values=values_lists)
+@settings(max_examples=60, deadline=None)
+def test_fcm_count_bookkeeping_matches_updates(values):
+    """Total counts across all contexts equal the number of recordable updates."""
+    order = 2
+    predictor = FcmPredictor(order=order)
+    for value in values:
+        predictor.update(0, value)
+    total_counts = sum(
+        sum(counts.values()) for counts in predictor.contexts_for(0).values()
+    )
+    # A (context, value) pair can only be recorded once the history holds
+    # `order` values, i.e. for every update after the first `order` ones.
+    assert total_counts == max(0, len(values) - order)
+
+
+@given(values=values_lists)
+@settings(max_examples=60, deadline=None)
+def test_fcm_history_tracks_last_order_values(values):
+    predictor = FcmPredictor(order=3)
+    for value in values:
+        predictor.update(0, value)
+    assert list(predictor.history_for(0)) == values[-3:]
+
+
+@given(values=small_values_lists)
+@settings(max_examples=60, deadline=None)
+def test_blended_prediction_always_comes_from_observed_values(values):
+    """A blended fcm predictor can only ever predict a value it has seen."""
+    predictor = BlendedFcmPredictor(order=3)
+    seen: set[int] = set()
+    for value in values:
+        prediction = predictor.predict(0)
+        if prediction.confident:
+            assert prediction.value in seen
+        predictor.update(0, value)
+        seen.add(value)
+
+
+@given(values=small_values_lists, period=st.integers(2, 6))
+@settings(max_examples=40, deadline=None)
+def test_blended_fcm_eventually_perfect_on_any_periodic_sequence(values, period):
+    """Any strictly periodic sequence is predicted perfectly once learned.
+
+    This is the defining property of context-based prediction the paper
+    stresses: *any* repeating sequence — stride or not — becomes predictable.
+    The period must not exceed the predictor order for a guarantee without
+    ambiguity, so the order is set to the period here.
+    """
+    base = (values * period)[:period]
+    sequence = base * 6
+    predictor = BlendedFcmPredictor(order=period)
+    outcomes = [predictor.observe(0, value) for value in sequence]
+    # After two full periods everything must be correct.
+    assert all(outcomes[2 * period :])
+
+
+@given(values=values_lists)
+@settings(max_examples=60, deadline=None)
+def test_predictors_keep_one_table_entry_per_pc(values):
+    """Unbounded tables: the number of entries equals the distinct PCs seen."""
+    predictor = TwoDeltaStridePredictor()
+    for index, value in enumerate(values):
+        predictor.observe((index % 7) * 4, value)
+    assert predictor.table_entries() == min(7, len(values))
+
+
+@given(values=values_lists)
+@settings(max_examples=60, deadline=None)
+def test_stats_totals_are_consistent(values):
+    predictor = LastValuePredictor()
+    correct = sum(predictor.observe(0, value) for value in values)
+    assert predictor.stats.lookups == len(values)
+    assert predictor.stats.correct == correct
+    assert 0.0 <= predictor.stats.accuracy <= 1.0

@@ -1,0 +1,112 @@
+"""Tests for the stride predictor family (simple, counter, two-delta)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stride import (
+    CounterStridePredictor,
+    SimpleStridePredictor,
+    TwoDeltaStridePredictor,
+)
+from repro.errors import PredictorConfigError
+from repro.sequences.generators import repeated_stride_sequence, stride_sequence
+from repro.sequences.analysis import measure_learning
+
+
+def run(predictor, values, pc=0):
+    return [predictor.observe(pc, value) for value in values]
+
+
+class TestSimpleStride:
+    def test_stride_sequence_learned_after_two_values(self):
+        outcomes = run(SimpleStridePredictor(), stride_sequence(10, start=3, stride=4))
+        assert outcomes == [False, False] + [True] * 8
+
+    def test_negative_stride_supported(self):
+        outcomes = run(SimpleStridePredictor(), stride_sequence(8, start=0, stride=-5))
+        assert outcomes[2:] == [True] * 6
+
+    def test_constant_sequence_behaves_like_last_value(self):
+        outcomes = run(SimpleStridePredictor(), [7] * 6)
+        assert outcomes == [False, True, True, True, True, True]
+
+    def test_repeated_stride_mispredicts_twice_per_period(self):
+        # The always-update stride predictor takes two mispredictions at each
+        # wrap of a repeated stride sequence (the paper's motivation for
+        # hysteresis / two-delta).
+        values = repeated_stride_sequence(12, period=4)
+        outcomes = run(SimpleStridePredictor(), values)
+        # Steady-state periods (after the first) have exactly 2 mispredictions.
+        second_period, third_period = outcomes[4:8], outcomes[8:12]
+        assert second_period.count(False) == 2
+        assert third_period.count(False) == 2
+
+
+class TestTwoDeltaStride:
+    def test_stride_sequence_learned_after_two_values(self):
+        profile = measure_learning(TwoDeltaStridePredictor(), stride_sequence(32))
+        assert profile.learning_time == 2
+        assert profile.learning_degree == pytest.approx(100.0)
+
+    def test_repeated_stride_mispredicts_once_per_period(self):
+        values = repeated_stride_sequence(16, period=4)
+        outcomes = run(TwoDeltaStridePredictor(), values)
+        # After the first full period, each period has exactly one miss (at
+        # the wrap) — the improvement over the always-update policy.
+        for start in (8, 12):
+            assert outcomes[start : start + 4].count(False) == 1
+
+    def test_stride_not_perturbed_by_isolated_glitch(self):
+        predictor = TwoDeltaStridePredictor()
+        values = [1, 2, 3, 4, 100, 5, 6, 7, 8]
+        run(predictor, values)
+        # After the glitch the +1 stride was re-observed twice (6->7->8), and
+        # predictions resume from the last value.
+        assert predictor.predict(0).value == 9
+
+    def test_prediction_uses_s2_not_transient_stride(self):
+        predictor = TwoDeltaStridePredictor()
+        for value in [10, 20, 30]:
+            predictor.observe(0, value)
+        # stride s2 = 10 (seen twice); a single different delta must not
+        # change the prediction stride.
+        predictor.observe(0, 31)
+        assert predictor.predict(0).value == 41
+
+    def test_single_value_falls_back_to_last_value(self):
+        predictor = TwoDeltaStridePredictor()
+        predictor.observe(0, 9)
+        assert predictor.predict(0).value == 9
+
+
+class TestCounterStride:
+    def test_stride_sequence_learned(self):
+        outcomes = run(CounterStridePredictor(), stride_sequence(10))
+        assert outcomes[3:] == [True] * 7
+
+    def test_repeated_stride_better_than_simple(self):
+        values = repeated_stride_sequence(40, period=5)
+        simple = sum(run(SimpleStridePredictor(), values))
+        gated = sum(run(CounterStridePredictor(), values))
+        assert gated >= simple
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(PredictorConfigError):
+            CounterStridePredictor(counter_max=0)
+        with pytest.raises(PredictorConfigError):
+            CounterStridePredictor(counter_max=2, threshold=5)
+
+
+class TestStorageAccounting:
+    def test_two_delta_reports_three_cells_per_entry(self):
+        predictor = TwoDeltaStridePredictor()
+        predictor.observe(0, 1)
+        predictor.observe(8, 1)
+        assert predictor.table_entries() == 2
+        assert predictor.storage_cells() == 6
+
+    def test_simple_stride_reports_two_cells_per_entry(self):
+        predictor = SimpleStridePredictor()
+        predictor.observe(0, 1)
+        assert predictor.storage_cells() == 2

@@ -1,0 +1,65 @@
+"""Integration tests for the public API surface and the command line."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.cli import main
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_quickstart_snippet_from_readme_works(self):
+        trace = repro.get_workload("compress").trace(scale=0.05)
+        result = repro.simulate_trace(trace, ("l", "s2", "fcm3"))
+        assert 0.0 <= result.results["fcm3"].accuracy <= 100.0
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_predictor_construction_via_api(self):
+        predictor = repro.create_predictor("fcm3")
+        assert isinstance(predictor, repro.BlendedFcmPredictor)
+
+    def test_sequence_helpers_via_api(self):
+        values = repro.generate_sequence(repro.SequenceClass.REPEATED_STRIDE, 12)
+        assert repro.classify_sequence(values) is repro.SequenceClass.REPEATED_STRIDE
+
+    def test_paper_predictor_lineup_exposed(self):
+        assert repro.PAPER_PREDICTORS == ("l", "s2", "fcm1", "fcm2", "fcm3")
+
+
+class TestCli:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        for benchmark in ("compress", "gcc", "xlisp"):
+            assert benchmark in output
+
+    def test_predictors_listing(self, capsys):
+        assert main(["predictors"]) == 0
+        output = capsys.readouterr().out
+        assert "s2" in output and "fcm3" in output
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "perl", "--scale", "0.05", "--predictors", "l", "s2"]) == 0
+        output = capsys.readouterr().out
+        assert "perl" in output
+        assert "s2" in output
+
+    def test_experiments_command_micro_only(self, capsys):
+        assert main(["experiments", "table1", "figure1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "Figure 1" in output
+
+    def test_experiments_unknown_name_fails(self, capsys):
+        assert main(["experiments", "table99"]) == 2
+
+    def test_simulate_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "not-a-benchmark"])

@@ -1,0 +1,128 @@
+"""Integration tests asserting the paper's headline qualitative claims.
+
+These run over the cached quick-scale campaign and check the *shape* of the
+results the paper reports: who wins, in which order, and where the advantage
+is concentrated.  Absolute numbers differ from the paper because the
+substrate is a synthetic suite, not the authors' SPEC95 binaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.opcodes import Category
+from repro.simulation.correlation import average_correlation, correlation_breakdown
+from repro.simulation.improvement import combined_improvement_curve
+from repro.simulation.metrics import build_accuracy_report
+from repro.simulation.value_profile import average_value_profiles, value_profile
+
+
+@pytest.fixture(scope="module")
+def report(quick_campaign):
+    return build_accuracy_report(quick_campaign.simulations)
+
+
+class TestSection41Predictability:
+    def test_context_prediction_beats_computational_on_average(self, report):
+        """Overall: last value < stride < fcm (Figure 3)."""
+        assert report.mean_overall("l") < report.mean_overall("s2")
+        assert report.mean_overall("s2") < report.mean_overall("fcm3")
+
+    def test_fcm_orders_show_diminishing_but_positive_returns(self, report):
+        fcm1, fcm2, fcm3 = (report.mean_overall(f"fcm{k}") for k in (1, 2, 3))
+        assert fcm1 <= fcm2 + 0.5
+        assert fcm2 <= fcm3 + 0.5
+        # Diminishing returns: the 2->3 step is no bigger than the 1->2 step
+        # plus a small tolerance.
+        assert (fcm3 - fcm2) <= (fcm2 - fcm1) + 2.0
+
+    def test_fcm_is_best_or_tied_on_every_benchmark(self, report):
+        for benchmark in report.benchmark_names:
+            row = report.overall[benchmark]
+            assert row["fcm3"] >= row["s2"] - 3.0, benchmark
+            assert row["fcm3"] >= row["l"], benchmark
+
+    def test_values_are_highly_predictable_overall(self, report):
+        """The paper's central claim: data values are very predictable."""
+        assert report.mean_overall("fcm3") > 55.0
+
+    def test_m88ksim_most_predictable_go_among_hardest(self, report):
+        fcm3 = {b: report.overall[b]["fcm3"] for b in report.benchmark_names}
+        assert fcm3["m88ksim"] == max(fcm3.values())
+        assert fcm3["go"] <= sorted(fcm3.values())[2]
+
+    def test_stride_matches_instruction_functionality_for_addsub(self, report):
+        """Stride does particularly well for add/subtract instructions but is
+        close to last value for non-add/subtract types (Section 4.1)."""
+        addsub_gain = report.mean_by_category("s2", Category.ADDSUB) - report.mean_by_category(
+            "l", Category.ADDSUB
+        )
+        shift_gain = report.mean_by_category("s2", Category.SHIFT) - report.mean_by_category(
+            "l", Category.SHIFT
+        )
+        assert addsub_gain > shift_gain
+
+    def test_fcm_varies_less_across_categories_than_stride(self, report):
+        def spread(predictor):
+            values = [
+                report.mean_by_category(predictor, category)
+                for category in (Category.ADDSUB, Category.LOADS, Category.LOGIC, Category.SHIFT)
+            ]
+            return max(values) - min(values)
+
+        assert spread("fcm3") <= spread("s2") + 5.0
+
+
+class TestSection42Correlation:
+    @pytest.fixture(scope="class")
+    def breakdown(self, quick_campaign):
+        return average_correlation(
+            [correlation_breakdown(s) for s in quick_campaign.simulations.values()]
+        )
+
+    def test_most_values_predicted_by_something(self, breakdown):
+        assert breakdown.overall["np"] < 40.0
+
+    def test_large_common_subset_and_significant_fcm_only_share(self, breakdown):
+        assert breakdown.fraction_all_three() > 10.0
+        assert breakdown.fraction_only_fcm() > 5.0
+
+    def test_last_value_adds_almost_nothing(self, breakdown):
+        assert breakdown.overall["l"] + breakdown.overall["lf"] < 10.0
+
+    def test_improvement_concentrated_in_few_static_instructions(self, quick_campaign):
+        curve = combined_improvement_curve(
+            list(quick_campaign.simulations.values()), "fcm3", "s2"
+        )
+        # A minority of static instructions accounts for the large majority
+        # of the fcm-over-stride improvement (Figure 9).
+        assert curve.improvement_at(30) > 55.0
+
+
+class TestSection43ValueCharacteristics:
+    @pytest.fixture(scope="class")
+    def profile(self, quick_campaign):
+        return average_value_profiles(
+            [value_profile(trace) for trace in quick_campaign.traces.values()]
+        )
+
+    def test_many_static_instructions_generate_one_value(self, profile):
+        assert profile.static_fraction_single_value() > 20.0
+
+    def test_most_static_instructions_generate_few_values(self, profile):
+        assert profile.static_fraction_up_to(64) > 60.0
+
+    def test_dynamic_instructions_dominated_by_low_cardinality_pcs(self, profile):
+        assert profile.dynamic_fraction_up_to(4096) > 80.0
+
+
+class TestSection44Sensitivity:
+    def test_gcc_insensitive_to_inputs_but_sensitive_to_order(self):
+        from repro.simulation.sensitivity import input_sensitivity, order_sensitivity
+
+        input_points = input_sensitivity(scale=0.15)
+        input_accuracies = [point.accuracy for point in input_points]
+        assert max(input_accuracies) - min(input_accuracies) < 15.0
+
+        order_accuracies = order_sensitivity(orders=(1, 2, 3, 4), scale=0.15)
+        assert order_accuracies[4] >= order_accuracies[1]

@@ -1,0 +1,45 @@
+"""Tests for the opcode/category mapping (Table 3)."""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import (
+    CATEGORY_OF,
+    Category,
+    Opcode,
+    PREDICTED_CATEGORIES,
+    REPORTED_CATEGORIES,
+    category_of,
+    is_predicted_opcode,
+)
+
+
+class TestCategoryMapping:
+    def test_every_opcode_has_a_category(self):
+        for opcode in Opcode:
+            assert opcode in CATEGORY_OF
+
+    def test_table3_category_examples(self):
+        assert category_of(Opcode.ADD) is Category.ADDSUB
+        assert category_of(Opcode.SUBI) is Category.ADDSUB
+        assert category_of(Opcode.LW) is Category.LOADS
+        assert category_of(Opcode.XOR) is Category.LOGIC
+        assert category_of(Opcode.SRA) is Category.SHIFT
+        assert category_of(Opcode.SLT) is Category.SET
+        assert category_of(Opcode.DIV) is Category.MULTDIV
+        assert category_of(Opcode.LUI) is Category.LUI
+        assert category_of(Opcode.JAL) is Category.OTHER
+
+    def test_stores_and_control_flow_not_predicted(self):
+        for opcode in (Opcode.SW, Opcode.SB, Opcode.BEQ, Opcode.J, Opcode.JR, Opcode.HALT, Opcode.NOP):
+            assert not is_predicted_opcode(opcode)
+
+    def test_register_writing_instructions_are_predicted(self):
+        for opcode in (Opcode.ADD, Opcode.LW, Opcode.AND, Opcode.SLL, Opcode.SEQ, Opcode.MULT, Opcode.LUI, Opcode.MOV):
+            assert is_predicted_opcode(opcode)
+
+    def test_predicted_categories_cover_the_paper_table(self):
+        names = {category.value for category in PREDICTED_CATEGORIES}
+        assert names == {"AddSub", "Loads", "Logic", "Shift", "Set", "MultDiv", "Lui", "Other"}
+
+    def test_reported_categories_are_a_subset_of_predicted(self):
+        assert set(REPORTED_CATEGORIES) <= set(PREDICTED_CATEGORIES)

@@ -1,0 +1,120 @@
+"""Tests for the register file and sparse memory."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidRegisterError, MemoryError_
+from repro.isa.memory import SparseMemory
+from repro.isa.registers import NUM_REGISTERS, RegisterFile, to_unsigned, wrap_value
+
+
+class TestWrapValue:
+    def test_small_values_unchanged(self):
+        assert wrap_value(42) == 42
+        assert wrap_value(-42) == -42
+
+    def test_overflow_wraps_to_negative(self):
+        assert wrap_value(2**63) == -(2**63)
+
+    def test_underflow_wraps_to_positive(self):
+        assert wrap_value(-(2**63) - 1) == 2**63 - 1
+
+    @given(value=st.integers(min_value=-(2**70), max_value=2**70))
+    @settings(max_examples=80, deadline=None)
+    def test_wrap_is_idempotent_and_in_range(self, value):
+        wrapped = wrap_value(value)
+        assert -(2**63) <= wrapped < 2**63
+        assert wrap_value(wrapped) == wrapped
+        assert to_unsigned(wrapped) == value % (2**64)
+
+
+class TestRegisterFile:
+    def test_registers_start_at_zero(self):
+        registers = RegisterFile()
+        assert all(registers.read(i) == 0 for i in range(NUM_REGISTERS))
+
+    def test_write_and_read_back(self):
+        registers = RegisterFile()
+        registers.write(5, 1234)
+        assert registers.read(5) == 1234
+
+    def test_register_zero_is_hardwired(self):
+        registers = RegisterFile()
+        assert registers.write(0, 77) == 0
+        assert registers.read(0) == 0
+
+    def test_values_wrap_to_64_bits(self):
+        registers = RegisterFile()
+        registers.write(3, 2**64 + 5)
+        assert registers.read(3) == 5
+
+    def test_invalid_index_rejected(self):
+        registers = RegisterFile()
+        with pytest.raises(InvalidRegisterError):
+            registers.read(32)
+        with pytest.raises(InvalidRegisterError):
+            registers.write(-1, 0)
+
+    def test_indexing_protocol(self):
+        registers = RegisterFile()
+        registers[4] = 9
+        assert registers[4] == 9
+        assert len(registers) == NUM_REGISTERS
+
+    def test_snapshot_and_reset(self):
+        registers = RegisterFile()
+        registers.write(1, 5)
+        snapshot = registers.snapshot()
+        registers.reset()
+        assert snapshot[1] == 5
+        assert registers.read(1) == 0
+
+
+class TestSparseMemory:
+    def test_uninitialised_reads_as_zero(self):
+        assert SparseMemory().load_word(0x1000) == 0
+
+    def test_store_and_load_word(self):
+        memory = SparseMemory()
+        memory.store_word(64, -17)
+        assert memory.load_word(64) == -17
+
+    def test_addresses_within_a_word_alias(self):
+        memory = SparseMemory()
+        memory.store_word(64, 5)
+        assert memory.load_word(67) == 5
+
+    def test_byte_access_uses_low_byte(self):
+        memory = SparseMemory()
+        memory.store_word(8, 0x1234)
+        assert memory.load_byte(8) == 0x34
+        memory.store_byte(8, 0xFF)
+        assert memory.load_word(8) == 0x12FF
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(MemoryError_):
+            SparseMemory().load_word(-8)
+
+    def test_initial_contents_and_footprint(self):
+        memory = SparseMemory(initial={0: 1, 8: 2})
+        assert memory.footprint() == 2
+        assert 8 in memory
+        memory.clear()
+        assert memory.footprint() == 0
+
+    @given(
+        writes=st.dictionaries(
+            st.integers(min_value=0, max_value=10_000).map(lambda a: a * 8),
+            st.integers(min_value=-(2**63), max_value=2**63 - 1),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_last_write_wins(self, writes):
+        memory = SparseMemory()
+        for address, value in writes.items():
+            memory.store_word(address, value)
+        for address, value in writes.items():
+            assert memory.load_word(address) == value

@@ -1,0 +1,99 @@
+"""Tests for the micro experiments (Table 1, Table 3, Figures 1 and 2).
+
+These do not need the workload substrate, so they check the paper's numbers
+exactly where the paper gives them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReportingError
+from repro.reporting.experiments import (
+    ALL_EXPERIMENTS,
+    figure1,
+    figure2,
+    run_experiment,
+    table1,
+    table3,
+)
+from repro.sequences.generators import SequenceClass
+
+
+class TestTable1:
+    def test_artifact_structure(self):
+        artifact = table1()
+        assert artifact.identifier == "table1"
+        assert set(artifact.data) == set(SequenceClass)
+        assert "Table 1" in artifact.text
+
+    def test_key_paper_entries(self):
+        data = table1(length=64, period=4).data
+        assert data[SequenceClass.CONSTANT]["l"].learning_degree == pytest.approx(100.0)
+        assert data[SequenceClass.STRIDE]["s2"].learning_degree == pytest.approx(100.0)
+        assert data[SequenceClass.REPEATED_NON_STRIDE]["fcm3"].learning_degree == pytest.approx(100.0)
+        assert data[SequenceClass.NON_STRIDE]["fcm3"].correct == 0
+
+
+class TestFigure1:
+    def test_reproduces_paper_counts_and_predictions(self):
+        models = figure1().data
+        # 0th order: a has been seen 9 times, b and c twice each -> predict a.
+        assert models[0]["contexts"][""] == {"a": 9, "b": 2, "c": 2}
+        assert models[0]["prediction"] == "a"
+        # 1st order: after 'a' the next symbol was 'a' six times, 'b' twice.
+        assert models[1]["contexts"]["a"] == {"a": 6, "b": 2}
+        assert models[1]["prediction"] == "a"
+        # 2nd order: after "aa", 'a' followed three times and 'b' twice.
+        assert models[2]["contexts"]["aa"] == {"a": 3, "b": 2}
+        assert models[2]["prediction"] == "a"
+        # 3rd order: after "aaa" only 'b' has ever followed -> predict b.
+        assert models[3]["contexts"]["aaa"] == {"b": 2}
+        assert models[3]["prediction"] == "b"
+
+    def test_render_mentions_orders(self):
+        assert "Order" in figure1().text
+
+
+class TestFigure2:
+    def test_stride_repeats_same_mistake_and_fcm_learns_perfectly(self):
+        data = figure2(period=4, repetitions=3).data
+        stride_profile = data["stride"]["profile"]
+        fcm_profile = data["fcm2"]["profile"]
+        # Stride learns after two values but keeps missing the wrap.
+        assert stride_profile.learning_time == 2
+        assert stride_profile.learning_degree < 100.0
+        # FCM takes roughly period + order values, then never misses.
+        assert fcm_profile.learning_time > stride_profile.learning_time
+        assert fcm_profile.learning_degree == pytest.approx(100.0)
+
+    def test_outcome_rows_cover_every_step(self):
+        data = figure2().data
+        assert len(data["stride"]["outcomes"]) == len(data["sequence"])
+
+
+class TestTable3:
+    def test_lists_all_predicted_categories(self):
+        artifact = table3()
+        rendered = artifact.text
+        for category in ("AddSub", "Loads", "Logic", "Shift", "Set", "MultDiv", "Lui", "Other"):
+            assert category in rendered
+        assert "Store" not in rendered
+
+
+class TestRunner:
+    def test_all_experiments_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+            "figure1", "figure2", "figure3", "figure4_7", "figure8", "figure9",
+            "figure10", "figure11",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_run_experiment_dispatches(self):
+        artifact = run_experiment("table1")
+        assert artifact.identifier == "table1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReportingError):
+            run_experiment("table99")

@@ -1,0 +1,126 @@
+"""Tests for the suite-wide experiments (Tables 2/4-7, Figures 3-11).
+
+These run at the quick scale; the cached campaign keeps the cost of the whole
+module to a single suite simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.opcodes import Category
+from repro.reporting.experiments import (
+    figure3,
+    figure4_7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table2,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.simulation.campaign import QUICK_SCALE
+from repro.workloads.suite import BENCHMARK_ORDER
+
+SCALE = QUICK_SCALE
+
+
+class TestTable2:
+    def test_covers_every_benchmark(self, quick_campaign):
+        artifact = table2(scale=SCALE)
+        assert set(artifact.data) == set(BENCHMARK_ORDER)
+
+    def test_predicted_fraction_in_range(self, quick_campaign):
+        artifact = table2(scale=SCALE)
+        for benchmark, row in artifact.data.items():
+            assert 0.5 <= row["fraction_predicted"] <= 0.95
+            assert row["predicted_instructions"] <= row["dynamic_instructions"]
+
+
+class TestTables4And5:
+    def test_static_counts_positive_for_major_categories(self, quick_campaign):
+        artifact = table4(scale=SCALE)
+        for category in ("AddSub", "Loads", "Shift", "Set"):
+            for benchmark in BENCHMARK_ORDER:
+                assert artifact.data[category][benchmark] > 0
+
+    def test_dynamic_percentages_sum_to_about_100(self, quick_campaign):
+        artifact = table5(scale=SCALE)
+        for benchmark in BENCHMARK_ORDER:
+            total = sum(artifact.data[category][benchmark] for category in artifact.data)
+            assert total == pytest.approx(100.0, abs=0.5)
+
+
+class TestFigure3(object):
+    def test_series_cover_all_predictors_and_benchmarks(self, quick_campaign):
+        figure = figure3(scale=SCALE).data
+        assert figure.x_values == list(BENCHMARK_ORDER)
+        assert set(figure.series) == {"l", "s2", "fcm1", "fcm2", "fcm3"}
+
+    def test_paper_ordering_holds_on_average(self, quick_campaign):
+        figure = figure3(scale=SCALE).data
+        means = {name: sum(values) / len(values) for name, values in figure.series.items()}
+        assert means["l"] < means["s2"] < means["fcm3"]
+        assert means["fcm1"] <= means["fcm2"] + 1.0
+        assert means["fcm2"] <= means["fcm3"] + 1.0
+
+
+class TestFigures4To7:
+    def test_one_figure_per_category(self, quick_campaign):
+        figures = figure4_7(scale=SCALE).data
+        assert set(figures) == {"figure4", "figure5", "figure6", "figure7"}
+        for figure in figures.values():
+            assert figure.x_values == list(BENCHMARK_ORDER)
+
+
+class TestFigure8:
+    def test_subset_fractions_sum_to_100(self, quick_campaign):
+        breakdown = figure8(scale=SCALE).data["average"]
+        assert sum(breakdown.overall.values()) == pytest.approx(100.0)
+
+    def test_paper_qualitative_structure(self, quick_campaign):
+        breakdown = figure8(scale=SCALE).data["average"]
+        # The all-three subset and the fcm-only subset are the two big
+        # contributors; last-value-only is tiny.
+        assert breakdown.fraction_all_three() > 10.0
+        assert breakdown.fraction_only_fcm() > 5.0
+        assert breakdown.overall["l"] < 5.0
+
+
+class TestFigure9:
+    def test_improvement_is_concentrated(self, quick_campaign):
+        curves = figure9(scale=SCALE).data
+        all_curve = curves["All"]
+        assert all_curve.total_improvement > 0
+        # A minority of improving static instructions accounts for the bulk
+        # of the improvement (the paper's ~20% -> ~97% observation).
+        assert all_curve.improvement_at(30) > 55.0
+
+
+class TestFigure10:
+    def test_profiles_cover_static_and_dynamic_views(self, quick_campaign):
+        figure = figure10(scale=SCALE)
+        profile = figure.data["average"]
+        assert sum(profile.static_percent["All"].values()) == pytest.approx(100.0)
+        # Most static instructions generate few values.
+        assert profile.static_fraction_up_to(64) > 60.0
+
+
+class TestSensitivityArtifacts:
+    def test_table6_variation_is_small(self):
+        points = table6(scale=0.05).data
+        accuracies = [point.accuracy for point in points]
+        assert max(accuracies) - min(accuracies) < 20.0
+
+    def test_table7_covers_flag_settings(self):
+        points = table7(scale=0.05).data
+        assert [point.setting for point in points] == ["ref", "none", "-O1", "-O2"]
+
+    def test_figure11_orders_and_diminishing_returns(self):
+        artifact = figure11(scale=0.05, max_order=4)
+        accuracies = artifact.data
+        assert set(accuracies) == {1, 2, 3, 4}
+        assert accuracies[4] >= accuracies[1] - 1.0

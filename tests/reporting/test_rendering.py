@@ -1,0 +1,50 @@
+"""Tests for plain-text table and figure-series rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.figures import FigureSeries
+from repro.reporting.tables import format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_rows_and_title(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["beta", 2]], title="Demo")
+        assert "Demo" in text
+        assert "name" in text and "value" in text
+        assert "alpha" in text and "beta" in text
+
+    def test_floats_rendered_with_one_decimal(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.1" in text and "3.14" not in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["x"], [[None]])
+        assert "| -" in text
+
+    def test_columns_are_aligned(self):
+        text = format_table(["a", "bbbb"], [["xxxxxx", 1]])
+        lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert len({len(line) for line in lines}) == 1
+
+
+class TestFigureSeries:
+    def test_add_series_and_lookup(self):
+        figure = FigureSeries("Fig", "x", "y", x_values=["a", "b"])
+        figure.add_series("s1", [1.0, 2.0])
+        assert figure.value("s1", "b") == 2.0
+
+    def test_length_mismatch_rejected(self):
+        figure = FigureSeries("Fig", "x", "y", x_values=["a", "b"])
+        with pytest.raises(ValueError):
+            figure.add_series("bad", [1.0])
+
+    def test_render_contains_all_labels(self):
+        figure = FigureSeries("Fig 3", "benchmark", "accuracy", x_values=["compress", "gcc"])
+        figure.add_series("l", [40.0, 30.0])
+        figure.add_series("s2", [55.0, 50.0])
+        text = figure.render()
+        assert "Fig 3" in text
+        assert "compress" in text and "gcc" in text
+        assert "l" in text and "s2" in text

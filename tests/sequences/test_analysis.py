@@ -1,0 +1,86 @@
+"""Tests for the learning time / learning degree analysis (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import create_predictor
+from repro.sequences.analysis import (
+    measure_learning,
+    prediction_outcomes,
+    predictor_behaviour_table,
+)
+from repro.sequences.generators import SequenceClass, repeated_stride_sequence
+
+
+class TestMeasureLearning:
+    def test_never_correct_gives_none_profile(self):
+        profile = measure_learning(create_predictor("l"), [1, 2, 3, 4, 5])
+        assert profile.learning_time is None
+        assert profile.learning_degree is None
+        assert profile.correct == 0
+
+    def test_constant_profile(self):
+        profile = measure_learning(create_predictor("l"), [5] * 20)
+        assert profile.learning_time == 1
+        assert profile.learning_degree == pytest.approx(100.0)
+        assert profile.accuracy == pytest.approx(100.0 * 19 / 20)
+
+    def test_learning_degree_excludes_first_correct_prediction(self):
+        # Correct only on the final element -> no post-learning window.
+        profile = measure_learning(create_predictor("l"), [1, 2, 3, 3])
+        assert profile.learning_time == 3
+        assert profile.learning_degree is None
+
+
+class TestTable1Structure:
+    def test_table_has_all_sequence_classes_and_predictors(self):
+        table = predictor_behaviour_table(length=32)
+        assert set(table) == set(SequenceClass)
+        for row in table.values():
+            assert set(row) == {"l", "s2", "fcm3"}
+
+    def test_paper_qualitative_claims(self):
+        table = predictor_behaviour_table(length=64, period=4)
+        constant = table[SequenceClass.CONSTANT]
+        stride = table[SequenceClass.STRIDE]
+        rs = table[SequenceClass.REPEATED_STRIDE]
+        rns = table[SequenceClass.REPEATED_NON_STRIDE]
+        ns = table[SequenceClass.NON_STRIDE]
+
+        # Constant: everything works, last value learns after one value.
+        assert constant["l"].learning_degree == pytest.approx(100.0)
+        assert constant["s2"].learning_degree == pytest.approx(100.0)
+        assert constant["fcm3"].learning_degree == pytest.approx(100.0)
+        assert constant["l"].learning_time == 1
+
+        # Stride: only the stride predictor achieves 100% after learning.
+        assert stride["s2"].learning_time == 2
+        assert stride["s2"].learning_degree == pytest.approx(100.0)
+        assert stride["l"].learning_time is None
+        assert stride["fcm3"].learning_time is None
+
+        # Repeated stride: stride learns faster, fcm learns better.
+        assert rs["s2"].learning_time < rs["fcm3"].learning_time
+        assert rs["fcm3"].learning_degree == pytest.approx(100.0)
+        assert rs["s2"].learning_degree < 100.0
+
+        # Repeated non-stride: only fcm reaches 100%.
+        assert rns["fcm3"].learning_degree == pytest.approx(100.0)
+
+        # Non-stride: nothing works.
+        assert ns["l"].correct == 0
+        assert ns["s2"].correct == 0
+        assert ns["fcm3"].correct == 0
+
+
+class TestPredictionOutcomes:
+    def test_figure2_shape(self):
+        values = repeated_stride_sequence(12, period=4)
+        stride_outcomes = prediction_outcomes(create_predictor("s2"), values)
+        fcm_outcomes = prediction_outcomes(create_predictor("fcm2"), values)
+        assert len(stride_outcomes) == len(values)
+        # The stride predictor repeats the same mistake at each wrap; the fcm
+        # predictor is flawless once it has seen a full period plus its order.
+        assert stride_outcomes[8][1] is False
+        assert all(ok for _, ok in fcm_outcomes[6:])

@@ -1,0 +1,66 @@
+"""Tests for the sequence classifier."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sequences.classify import classify_sequence
+from repro.sequences.generators import (
+    SequenceClass,
+    constant_sequence,
+    non_stride_sequence,
+    repeated_non_stride_sequence,
+    repeated_stride_sequence,
+    stride_sequence,
+)
+
+
+class TestClassification:
+    def test_constant(self):
+        assert classify_sequence(constant_sequence(12)) is SequenceClass.CONSTANT
+
+    def test_stride(self):
+        assert classify_sequence(stride_sequence(12, stride=3)) is SequenceClass.STRIDE
+
+    def test_non_stride(self):
+        assert classify_sequence(non_stride_sequence(40, seed=4)) is SequenceClass.NON_STRIDE
+
+    def test_repeated_stride(self):
+        values = repeated_stride_sequence(24, period=4)
+        assert classify_sequence(values) is SequenceClass.REPEATED_STRIDE
+
+    def test_repeated_non_stride(self):
+        values = repeated_non_stride_sequence(32, period=4, seed=19)
+        assert classify_sequence(values) is SequenceClass.REPEATED_NON_STRIDE
+
+    def test_paper_examples(self):
+        assert classify_sequence([5, 5, 5, 5, 5, 5, 5]) is SequenceClass.CONSTANT
+        assert classify_sequence([1, 2, 3, 4, 5, 6, 7, 8]) is SequenceClass.STRIDE
+        assert classify_sequence([28, -13, -99, 107, 23, 456]) is SequenceClass.NON_STRIDE
+        assert (
+            classify_sequence([1, 2, 3, 1, 2, 3, 1, 2, 3]) is SequenceClass.REPEATED_STRIDE
+        )
+        assert (
+            classify_sequence([1, -13, -99, 7, 1, -13, -99, 7, 1, -13, -99, 7])
+            is SequenceClass.REPEATED_NON_STRIDE
+        )
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            classify_sequence([])
+
+
+class TestClassifierGeneratorRoundTrip:
+    @given(
+        sequence_class=st.sampled_from(
+            [SequenceClass.CONSTANT, SequenceClass.STRIDE, SequenceClass.NON_STRIDE]
+        ),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_non_repeating_classes_round_trip(self, sequence_class, seed):
+        from repro.sequences.generators import generate_sequence
+
+        values = generate_sequence(sequence_class, length=48, seed=seed)
+        assert classify_sequence(values) is sequence_class

@@ -1,0 +1,84 @@
+"""Tests for the value-sequence generators of Section 1.1."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.sequences.generators import (
+    SequenceClass,
+    constant_sequence,
+    generate_sequence,
+    non_stride_sequence,
+    repeated_non_stride_sequence,
+    repeated_stride_sequence,
+    stride_sequence,
+)
+
+
+class TestConstantAndStride:
+    def test_constant_sequence_repeats_one_value(self):
+        assert constant_sequence(5, value=9) == [9, 9, 9, 9, 9]
+
+    def test_stride_sequence_has_constant_difference(self):
+        values = stride_sequence(6, start=2, stride=3)
+        assert values == [2, 5, 8, 11, 14, 17]
+
+    def test_zero_stride_degenerates_to_constant(self):
+        assert stride_sequence(4, start=7, stride=0) == [7, 7, 7, 7]
+
+    def test_negative_stride(self):
+        assert stride_sequence(4, start=0, stride=-2) == [0, -2, -4, -6]
+
+    def test_length_must_be_positive(self):
+        with pytest.raises(ReproError):
+            constant_sequence(0)
+        with pytest.raises(ReproError):
+            stride_sequence(-3)
+
+
+class TestNonStride:
+    def test_no_three_term_arithmetic_run(self):
+        values = non_stride_sequence(200, seed=13)
+        for i in range(2, len(values)):
+            assert values[i] - values[i - 1] != values[i - 1] - values[i - 2]
+
+    def test_deterministic_for_a_seed(self):
+        assert non_stride_sequence(20, seed=5) == non_stride_sequence(20, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert non_stride_sequence(20, seed=5) != non_stride_sequence(20, seed=6)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ReproError):
+            non_stride_sequence(5, low=10, high=10)
+
+
+class TestRepeatedSequences:
+    def test_repeated_stride_wraps_with_period(self):
+        values = repeated_stride_sequence(10, period=4)
+        assert values == [1, 2, 3, 4, 1, 2, 3, 4, 1, 2]
+
+    def test_repeated_non_stride_wraps_with_period(self):
+        values = repeated_non_stride_sequence(12, period=3, seed=2)
+        assert values[:3] == values[3:6] == values[6:9]
+
+    def test_period_validation(self):
+        with pytest.raises(ReproError):
+            repeated_stride_sequence(8, period=1)
+        with pytest.raises(ReproError):
+            repeated_non_stride_sequence(8, period=0)
+
+
+class TestGenerateSequenceDispatch:
+    @pytest.mark.parametrize("sequence_class", list(SequenceClass))
+    def test_every_class_generates_requested_length(self, sequence_class):
+        assert len(generate_sequence(sequence_class, length=17)) == 17
+
+    @given(length=st.integers(1, 100), period=st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_repeated_stride_is_truly_periodic(self, length, period):
+        values = generate_sequence(SequenceClass.REPEATED_STRIDE, length, period=period)
+        for i in range(len(values)):
+            assert values[i] == values[i % period]

@@ -1,0 +1,167 @@
+"""Tests for the Section 4 analyses: metrics, correlation, improvement, values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.opcodes import Category
+from repro.simulation.correlation import (
+    SUBSET_LABELS,
+    average_correlation,
+    correlation_breakdown,
+)
+from repro.simulation.improvement import (
+    combined_improvement_curve,
+    improvement_curve,
+)
+from repro.simulation.metrics import arithmetic_mean, build_accuracy_report
+from repro.simulation.simulator import simulate_trace
+from repro.simulation.value_profile import (
+    average_value_profiles,
+    bucket_for,
+    bucket_labels,
+    value_profile,
+)
+from repro.trace.synthetic import trace_from_streams, trace_from_values
+from repro.errors import SimulationError
+
+
+def repeated(values, times):
+    return list(values) * times
+
+
+@pytest.fixture(scope="module")
+def mixed_simulation():
+    """A trace with one constant, one stride and one repeated non-stride PC."""
+    trace = trace_from_streams(
+        {
+            0: repeated([5], 30),
+            8: list(range(30)),
+            16: repeated([9, -4, 77, 3, 12], 6),
+        }
+    )
+    return simulate_trace(trace, ("l", "s2", "fcm3"))
+
+
+class TestMetrics:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert arithmetic_mean([]) == 0.0
+
+    def test_accuracy_report_structure(self, mixed_simulation):
+        report = build_accuracy_report({"synthetic": mixed_simulation})
+        assert report.benchmark_names == ("synthetic",)
+        assert set(report.overall["synthetic"]) == {"l", "s2", "fcm3"}
+        series = report.benchmark_series("s2")
+        assert len(series) == 1
+        assert report.mean_overall("s2") == pytest.approx(series[0])
+
+    def test_category_series_default_zero_for_missing(self, mixed_simulation):
+        report = build_accuracy_report({"synthetic": mixed_simulation})
+        shift_series = report.benchmark_series("l", Category.SHIFT)
+        assert shift_series == [0.0]
+
+
+class TestCorrelation:
+    def test_percentages_sum_to_one_hundred(self, mixed_simulation):
+        breakdown = correlation_breakdown(mixed_simulation)
+        assert sum(breakdown.overall.values()) == pytest.approx(100.0)
+        assert set(breakdown.overall) == set(SUBSET_LABELS)
+
+    def test_stride_only_pc_contributes_to_s_subset(self, mixed_simulation):
+        breakdown = correlation_breakdown(mixed_simulation)
+        # The pure stride PC is predicted only by the stride predictor, so the
+        # "s" subset must be substantial.
+        assert breakdown.overall["s"] > 15.0
+        # The repeated non-stride PC is caught only by fcm.
+        assert breakdown.overall["f"] > 10.0
+        # The constant PC is caught by everyone.
+        assert breakdown.overall["lsf"] > 15.0
+
+    def test_marginalisation_over_extra_predictors(self):
+        trace = trace_from_values(repeated([3], 20))
+        simulation = simulate_trace(trace, ("l", "s2", "fcm1", "fcm2", "fcm3"))
+        breakdown = correlation_breakdown(simulation, predictors=("l", "s2", "fcm3"))
+        assert breakdown.overall["lsf"] > 90.0
+
+    def test_missing_predictor_rejected(self, mixed_simulation):
+        with pytest.raises(SimulationError):
+            correlation_breakdown(mixed_simulation, predictors=("l", "s2", "fcm9"))
+
+    def test_average_correlation(self, mixed_simulation):
+        averaged = average_correlation([correlation_breakdown(mixed_simulation)] * 3)
+        assert sum(averaged.overall.values()) == pytest.approx(100.0)
+
+    def test_average_requires_input(self):
+        with pytest.raises(SimulationError):
+            average_correlation([])
+
+
+class TestImprovement:
+    def test_improvement_concentrated_on_fcm_favoured_pcs(self, mixed_simulation):
+        curve = improvement_curve(mixed_simulation, fcm_name="fcm3", stride_name="s2")
+        assert curve.total_improvement > 0
+        assert curve.points[100] == pytest.approx(100.0)
+        assert curve.points[0] == pytest.approx(0.0)
+        # Improvement only comes from the repeated-non-stride PC.
+        assert curve.improving_static_instructions == 1
+
+    def test_category_filter(self, mixed_simulation):
+        curve = improvement_curve(
+            mixed_simulation, fcm_name="fcm3", stride_name="s2", category=Category.SHIFT
+        )
+        assert curve.total_improvement == 0
+
+    def test_combined_curve_over_multiple_simulations(self, mixed_simulation):
+        curve = combined_improvement_curve(
+            [mixed_simulation, mixed_simulation], fcm_name="fcm3", stride_name="s2"
+        )
+        assert curve.improving_static_instructions == 2
+        assert curve.static_fraction_for(99.0) <= 100
+
+    def test_unknown_predictor_rejected(self, mixed_simulation):
+        with pytest.raises(SimulationError):
+            improvement_curve(mixed_simulation, fcm_name="nope", stride_name="s2")
+
+    def test_requires_simulations(self):
+        with pytest.raises(SimulationError):
+            combined_improvement_curve([], "fcm3", "s2")
+
+
+class TestValueProfile:
+    def test_bucket_boundaries(self):
+        assert bucket_for(1) == "1"
+        assert bucket_for(2) == "4"
+        assert bucket_for(64) == "64"
+        assert bucket_for(65) == "256"
+        assert bucket_for(10**6) == ">65536"
+
+    def test_profile_percentages_sum_to_one_hundred(self):
+        trace = trace_from_streams({0: [5] * 10, 8: list(range(10))})
+        profile = value_profile(trace)
+        assert sum(profile.static_percent["All"].values()) == pytest.approx(100.0)
+        assert sum(profile.dynamic_percent["All"].values()) == pytest.approx(100.0)
+
+    def test_single_value_instruction_counted(self):
+        trace = trace_from_streams({0: [5] * 10, 8: list(range(10))})
+        profile = value_profile(trace)
+        assert profile.static_fraction_single_value() == pytest.approx(50.0)
+        assert profile.static_fraction_up_to(64) == pytest.approx(100.0)
+
+    def test_dynamic_view_weights_by_execution_count(self):
+        trace = trace_from_streams({0: [5] * 90, 8: list(range(10))})
+        profile = value_profile(trace)
+        assert profile.dynamic_fraction_up_to(1) == pytest.approx(90.0)
+
+    def test_average_profiles(self):
+        trace = trace_from_streams({0: [5] * 10, 8: list(range(10))})
+        profile = value_profile(trace)
+        averaged = average_value_profiles([profile, profile])
+        for label in bucket_labels():
+            assert averaged.static_percent["All"][label] == pytest.approx(
+                profile.static_percent["All"][label]
+            )
+
+    def test_average_requires_profiles(self):
+        with pytest.raises(ValueError):
+            average_value_profiles([])

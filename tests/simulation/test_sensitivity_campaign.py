@@ -1,0 +1,60 @@
+"""Tests for the sensitivity sweeps and the cached campaign runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import PAPER_PREDICTORS
+from repro.simulation.campaign import QUICK_SCALE, clear_campaign_cache, run_campaign
+from repro.simulation.sensitivity import flag_sensitivity, input_sensitivity, order_sensitivity
+
+
+class TestSensitivity:
+    def test_input_sensitivity_covers_all_gcc_inputs(self):
+        points = input_sensitivity(scale=0.03)
+        assert [point.setting for point in points] == [
+            "gcc.i", "jump.i", "emit-rtl.i", "recog.i", "stmt.i",
+        ]
+        for point in points:
+            assert point.predictions > 0
+            assert 0.0 <= point.accuracy <= 100.0
+
+    def test_flag_sensitivity_covers_all_gcc_flags(self):
+        points = flag_sensitivity(scale=0.03)
+        assert [point.setting for point in points] == ["ref", "none", "-O1", "-O2"]
+
+    def test_order_sensitivity_is_monotone_in_the_small_order_range(self):
+        accuracies = order_sensitivity(orders=(1, 2, 3), scale=0.05)
+        assert set(accuracies) == {1, 2, 3}
+        assert accuracies[3] >= accuracies[1] - 1.0
+
+    def test_sensitivity_for_other_benchmarks(self):
+        points = input_sensitivity(benchmark="compress", predictor="fcm1", scale=0.05)
+        assert len(points) == len(("ref", "test", "train"))
+
+
+class TestCampaign:
+    def test_quick_campaign_has_all_benchmarks_and_predictors(self, quick_campaign):
+        assert set(quick_campaign.benchmarks()) == {
+            "compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "xlisp",
+        }
+        assert quick_campaign.predictor_names == PAPER_PREDICTORS
+        for simulation in quick_campaign.simulations.values():
+            assert simulation.total_records > 0
+
+    def test_campaign_statistics_match_traces(self, quick_campaign):
+        for benchmark, trace in quick_campaign.traces.items():
+            stats = quick_campaign.statistics[benchmark]
+            assert stats.predicted_instructions == len(trace)
+
+    def test_campaign_is_cached(self, quick_campaign):
+        again = run_campaign(scale=QUICK_SCALE, predictors=PAPER_PREDICTORS)
+        assert again is quick_campaign
+
+    def test_cache_can_be_bypassed_and_cleared(self):
+        first = run_campaign(scale=0.02, benchmarks=("perl",))
+        second = run_campaign(scale=0.02, benchmarks=("perl",), use_cache=False)
+        assert first is not second
+        clear_campaign_cache()
+        third = run_campaign(scale=0.02, benchmarks=("perl",))
+        assert third is not first

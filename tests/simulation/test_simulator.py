@@ -1,0 +1,97 @@
+"""Tests for the trace-driven prediction simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import create_predictor
+from repro.errors import SimulationError
+from repro.isa.opcodes import Category, Opcode
+from repro.simulation.simulator import PredictionSimulator, simulate_trace
+from repro.trace.synthetic import trace_from_streams, trace_from_values
+
+
+class TestSimulatorBasics:
+    def test_requires_at_least_one_predictor(self):
+        with pytest.raises(SimulationError):
+            PredictionSimulator({})
+
+    def test_constant_stream_accuracy(self):
+        trace = trace_from_values([7] * 10)
+        result = simulate_trace(trace, ("l",))
+        assert result.results["l"].correct == 9
+        assert result.results["l"].accuracy == pytest.approx(90.0)
+
+    def test_per_category_accounting(self):
+        trace = trace_from_streams(
+            {0: [5, 5, 5, 5], 8: [1, 2, 3, 4]},
+            opcodes={0: Opcode.LW, 8: Opcode.ADD},
+        )
+        result = simulate_trace(trace, ("l",))
+        loads_accuracy = result.results["l"].category_accuracy(Category.LOADS)
+        addsub_accuracy = result.results["l"].category_accuracy(Category.ADDSUB)
+        assert loads_accuracy == pytest.approx(75.0)
+        assert addsub_accuracy == pytest.approx(0.0)
+
+    def test_category_accuracy_for_absent_category_is_zero(self):
+        trace = trace_from_values([1, 2, 3])
+        result = simulate_trace(trace, ("l",))
+        assert result.results["l"].category_accuracy(Category.SHIFT) == 0.0
+
+    def test_pc_bookkeeping(self):
+        trace = trace_from_streams({0: [5, 5, 5], 8: [9, 9]})
+        result = simulate_trace(trace, ("l",))
+        assert result.pc_total == {0: 3, 8: 2}
+        assert result.results["l"].pc_correct[0] == 2
+        assert result.results["l"].pc_correct[8] == 1
+        assert result.pc_category[0] is Category.ADDSUB
+
+    def test_result_for_unknown_predictor_raises(self):
+        trace = trace_from_values([1, 2])
+        result = simulate_trace(trace, ("l",))
+        with pytest.raises(SimulationError):
+            result.result_for("fcm3")
+
+
+class TestJointOutcomes:
+    def test_subset_counts_cover_every_record(self):
+        trace = trace_from_values([1, 1, 2, 2, 3, 3])
+        result = simulate_trace(trace, ("l", "s2", "fcm3"))
+        assert sum(result.subset_counts.values()) == len(trace)
+        per_category_total = sum(
+            count
+            for counts in result.subset_counts_by_category.values()
+            for count in counts.values()
+        )
+        assert per_category_total == len(trace)
+
+    def test_outcome_tuples_match_predictor_order(self):
+        # A pure stride stream: only the stride predictor is right in steady
+        # state, so the dominant outcome tuple must be (False, True, False).
+        trace = trace_from_values(list(range(0, 60, 3)))
+        result = simulate_trace(trace, ("l", "s2", "fcm3"))
+        dominant = max(result.subset_counts, key=result.subset_counts.get)
+        assert dominant == (False, True, False)
+
+    def test_predictors_simulated_in_lockstep(self):
+        trace = trace_from_values([4] * 20)
+        result = simulate_trace(trace, ("l", "s2"))
+        # On a constant stream both agree on every record after the first.
+        assert result.subset_counts.get((True, True), 0) == 19
+
+
+class TestPredictorIndependencePerTrace:
+    def test_fresh_predictors_per_simulate_call(self, m88ksim_trace):
+        first = simulate_trace(m88ksim_trace, ("fcm2",))
+        second = simulate_trace(m88ksim_trace, ("fcm2",))
+        assert first.results["fcm2"].correct == second.results["fcm2"].correct
+
+    def test_simulator_reuses_supplied_predictor_instances(self):
+        predictor = create_predictor("l")
+        simulator = PredictionSimulator({"l": predictor})
+        trace = trace_from_values([3, 3, 3])
+        simulator.run(trace)
+        # The same instance keeps its learned state across runs.
+        assert predictor.table_entries() == 1
+        second = simulator.run(trace)
+        assert second.results["l"].correct == 3

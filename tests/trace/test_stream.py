@@ -1,0 +1,88 @@
+"""Tests for trace records, the ValueTrace container and its statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.opcodes import Category, Opcode
+from repro.trace.record import TraceRecord
+from repro.trace.stream import ValueTrace
+from repro.trace.synthetic import trace_from_streams, trace_from_values
+
+
+def make_record(serial=0, pc=0, opcode=Opcode.ADD, value=1):
+    return TraceRecord(
+        serial=serial, pc=pc, opcode=opcode, category=Category.ADDSUB, value=value
+    )
+
+
+class TestValueTrace:
+    def test_append_and_len(self):
+        trace = ValueTrace("t")
+        trace.append(make_record())
+        trace.append(make_record(serial=1, value=2))
+        assert len(trace) == 2
+        assert bool(trace)
+
+    def test_total_dynamic_defaults_to_record_count(self):
+        trace = trace_from_values([1, 2, 3])
+        assert trace.total_dynamic_instructions == 3
+
+    def test_total_dynamic_cannot_undercount(self):
+        trace = trace_from_values([1, 2, 3])
+        with pytest.raises(TraceError):
+            trace.set_total_dynamic_instructions(2)
+
+    def test_slicing_returns_a_trace(self):
+        trace = trace_from_values(list(range(10)))
+        head = trace[:3]
+        assert isinstance(head, ValueTrace)
+        assert len(head) == 3
+        assert trace[4].value == 4
+
+    def test_values_by_pc_groups_in_order(self):
+        trace = trace_from_streams({0: [1, 2, 3], 8: [7, 7]})
+        grouped = trace.values_by_pc()
+        assert grouped[0] == [1, 2, 3]
+        assert grouped[8] == [7, 7]
+
+    def test_static_pcs_in_first_seen_order(self):
+        trace = trace_from_streams({8: [1], 0: [2], 16: [3]})
+        assert trace.static_pcs() == [0, 8, 16]
+
+    def test_filter_category(self):
+        records = [
+            TraceRecord(0, 0, Opcode.ADD, Category.ADDSUB, 1),
+            TraceRecord(1, 4, Opcode.LW, Category.LOADS, 2),
+            TraceRecord(2, 8, Opcode.ADD, Category.ADDSUB, 3),
+        ]
+        trace = ValueTrace("mix", records)
+        loads = trace.filter_category(Category.LOADS)
+        assert len(loads) == 1
+        assert loads.records[0].value == 2
+
+
+class TestTraceStatistics:
+    def test_statistics_counts_and_fractions(self):
+        records = [
+            TraceRecord(0, 0, Opcode.ADD, Category.ADDSUB, 1),
+            TraceRecord(1, 4, Opcode.LW, Category.LOADS, 2),
+            TraceRecord(2, 0, Opcode.ADD, Category.ADDSUB, 3),
+        ]
+        trace = ValueTrace("stats", records)
+        trace.set_total_dynamic_instructions(6)
+        stats = trace.statistics()
+        assert stats.predicted_instructions == 3
+        assert stats.total_dynamic_instructions == 6
+        assert stats.fraction_predicted == pytest.approx(0.5)
+        assert stats.static_instruction_count == 2
+        assert stats.category_dynamic_counts[Category.ADDSUB] == 2
+        assert stats.category_static_counts[Category.ADDSUB] == 1
+        percentages = stats.category_dynamic_percentages()
+        assert percentages[Category.ADDSUB] == pytest.approx(200.0 / 3)
+
+    def test_empty_trace_statistics(self):
+        stats = ValueTrace("empty").statistics()
+        assert stats.predicted_instructions == 0
+        assert stats.fraction_predicted == 0.0

