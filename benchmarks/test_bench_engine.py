@@ -1,0 +1,69 @@
+"""Benchmarks for the campaign execution engine.
+
+Times the quick-scale suite campaign along the engine's two axes —
+serial vs. worker-pool execution, and cold vs. warm persistent cache —
+emitting comparable wall-time numbers for the perf trajectory.  On a
+single-core runner the parallel number mostly measures pool overhead;
+the interesting deltas there are cold vs. warm cache (the warm run
+performs zero trace/simulate work).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.registry import PAPER_PREDICTORS
+from repro.engine import ExecutionEngine
+from repro.simulation.campaign import QUICK_SCALE
+from repro.workloads.suite import BENCHMARK_ORDER
+
+SCALE = QUICK_SCALE
+
+
+def _run_engine(jobs: int, cache_dir=None, use_cache: bool = True):
+    engine = ExecutionEngine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    result = engine.run(scale=SCALE, predictors=PAPER_PREDICTORS, benchmarks=BENCHMARK_ORDER)
+    return engine, result
+
+
+def _report(engine) -> None:
+    stats = engine.stats
+    print()
+    print(
+        f"jobs={engine.jobs} traces {stats.traces_computed}c/{stats.traces_cached}h "
+        f"simulations {stats.simulations_computed}c/{stats.simulations_cached}h "
+        f"{stats.total_seconds:.2f}s"
+    )
+
+
+def test_bench_engine_serial_cold(benchmark):
+    """Baseline: the full quick-scale campaign, in-process, no cache."""
+    engine, result = run_once(benchmark, _run_engine, jobs=1)
+    assert engine.stats.simulations_computed == len(BENCHMARK_ORDER) * len(PAPER_PREDICTORS)
+    assert set(result.simulations) == set(BENCHMARK_ORDER)
+    _report(engine)
+
+
+def test_bench_engine_parallel_cold(benchmark):
+    """The same campaign scattered over a two-worker pool."""
+    engine, result = run_once(benchmark, _run_engine, jobs=2)
+    assert engine.stats.simulations_computed == len(BENCHMARK_ORDER) * len(PAPER_PREDICTORS)
+    assert set(result.simulations) == set(BENCHMARK_ORDER)
+    _report(engine)
+
+
+def test_bench_engine_cold_cache(benchmark, tmp_path):
+    """Cold run that also populates a persistent cache (write overhead)."""
+    engine, result = run_once(benchmark, _run_engine, jobs=1, cache_dir=tmp_path / "cache")
+    assert engine.stats.simulations_computed == len(BENCHMARK_ORDER) * len(PAPER_PREDICTORS)
+    _report(engine)
+
+
+def test_bench_engine_warm_cache(benchmark, tmp_path):
+    """Warm rerun against a populated cache: zero simulations performed."""
+    cache_dir = tmp_path / "cache"
+    _run_engine(jobs=1, cache_dir=cache_dir)  # populate (untimed)
+    engine, result = run_once(benchmark, _run_engine, jobs=1, cache_dir=cache_dir)
+    assert engine.stats.simulations_computed == 0
+    assert engine.stats.traces_computed == 0
+    assert set(result.simulations) == set(BENCHMARK_ORDER)
+    _report(engine)

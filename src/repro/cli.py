@@ -4,6 +4,9 @@ Subcommands
 -----------
 ``experiments``
     Regenerate one, several or all of the paper's tables and figures.
+``campaign``
+    Run the whole suite-wide campaign through the execution engine, with
+    ``--jobs`` worker processes and an optional persistent ``--cache-dir``.
 ``simulate``
     Run a chosen set of predictors over one benchmark and print accuracy.
 ``workloads`` / ``predictors``
@@ -16,11 +19,18 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.registry import PAPER_PREDICTORS, available_predictors
+from repro.core.registry import PAPER_PREDICTORS, available_predictors, create_predictor
+from repro.engine.progress import ConsoleProgress
+from repro.errors import UnknownPredictorError
+from repro.engine.scheduler import ExecutionEngine
 from repro.isa.opcodes import REPORTED_CATEGORIES
 from repro.reporting.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.reporting.tables import format_table
-from repro.simulation.campaign import DEFAULT_SCALE, QUICK_SCALE
+from repro.simulation.campaign import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    set_campaign_defaults,
+)
 from repro.simulation.simulator import simulate_trace
 from repro.workloads.suite import BENCHMARK_ORDER, get_workload
 
@@ -50,6 +60,38 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--quick", action="store_true", help="use the reduced quick-run scale"
     )
+    _add_engine_arguments(experiments)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run the suite-wide campaign through the parallel execution engine",
+    )
+    campaign.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=f"workload scale factor (default {DEFAULT_SCALE}; --quick uses {QUICK_SCALE})",
+    )
+    campaign.add_argument(
+        "--quick", action="store_true", help="use the reduced quick-run scale"
+    )
+    campaign.add_argument(
+        "--predictors",
+        nargs="+",
+        default=list(PAPER_PREDICTORS),
+        help="predictor names (see the 'predictors' subcommand)",
+    )
+    campaign.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=list(BENCHMARK_ORDER),
+        choices=BENCHMARK_ORDER,
+        help="benchmarks to run (default: the full suite)",
+    )
+    campaign.add_argument(
+        "--progress", action="store_true", help="print live task progress to stderr"
+    )
+    _add_engine_arguments(campaign)
 
     simulate = subparsers.add_parser("simulate", help="simulate predictors over one benchmark")
     simulate.add_argument("benchmark", choices=BENCHMARK_ORDER)
@@ -67,8 +109,31 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Engine options shared by the campaign-backed subcommands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for tracing/simulation (default 1: in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result cache directory (default: no on-disk cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore all caches and recompute every work unit",
+    )
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     names = args.names or sorted(ALL_EXPERIMENTS)
+    set_campaign_defaults(
+        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
     scale = QUICK_SCALE if args.quick and args.scale is None else args.scale
     for name in names:
         kwargs = {}
@@ -81,6 +146,48 @@ def _command_experiments(args: argparse.Namespace) -> int:
         artifact = run_experiment(name, **kwargs)
         print(artifact.render())
         print()
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    try:
+        for name in args.predictors:
+            create_predictor(name)
+    except UnknownPredictorError as error:
+        print(error, file=sys.stderr)
+        return 2
+    scale = args.scale
+    if scale is None:
+        scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
+    engine = ExecutionEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=ConsoleProgress() if args.progress else None,
+    )
+    result = engine.run(
+        scale=scale, predictors=tuple(args.predictors), benchmarks=tuple(args.benchmarks)
+    )
+    rows = []
+    for benchmark in result.benchmarks():
+        simulation = result.simulations[benchmark]
+        rows.append(
+            [benchmark, len(result.traces[benchmark])]
+            + [simulation.results[name].accuracy for name in result.predictor_names]
+        )
+    print(
+        format_table(
+            ["benchmark", "predicted instr."] + list(result.predictor_names),
+            rows,
+            title=f"Campaign — overall accuracy (%) at scale {scale}, jobs={engine.jobs}",
+        )
+    )
+    stats = engine.stats
+    print(
+        f"traces: {stats.traces_computed} computed, {stats.traces_cached} cached; "
+        f"simulations: {stats.simulations_computed} computed, "
+        f"{stats.simulations_cached} cached; wall time {stats.total_seconds:.2f}s"
+    )
     return 0
 
 
@@ -127,6 +234,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "experiments":
         return _command_experiments(args)
+    if args.command == "campaign":
+        return _command_campaign(args)
     if args.command == "simulate":
         return _command_simulate(args)
     if args.command == "workloads":

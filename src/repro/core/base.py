@@ -10,9 +10,41 @@ are updated immediately with the correct value after every prediction.  The
 from __future__ import annotations
 
 import abc
+import enum
 from dataclasses import dataclass, field
 
 from repro.isa.opcodes import Category
+
+
+def config_signature_of(obj: object) -> str:
+    """Canonical signature of an object's *configuration*.
+
+    Walks public attributes (skipping learned tables, which are
+    underscore-prefixed by convention, and runtime ``stats``) and renders
+    them deterministically.  Two predictor instances produce the same
+    signature exactly when they are configured identically, so the string
+    is usable as a cache-key component — see :mod:`repro.engine`.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(config_signature_of(item) for item in obj) + "]"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(config_signature_of(item) for item in obj)) + "}"
+    if isinstance(obj, dict):
+        items = sorted(
+            (config_signature_of(key), config_signature_of(value))
+            for key, value in obj.items()
+        )
+        return "{" + ",".join(f"{key}:{value}" for key, value in items) + "}"
+    parts = [
+        f"{attr}={config_signature_of(value)}"
+        for attr, value in sorted(vars(obj).items())
+        if not attr.startswith("_") and attr != "stats"
+    ]
+    return f"{type(obj).__name__}({','.join(parts)})"
 
 
 @dataclass(frozen=True)
@@ -129,6 +161,14 @@ class ValuePredictor(abc.ABC):
         keep more than one cell per entry.
         """
         return self.table_entries()
+
+    def config_signature(self) -> str:
+        """Canonical description of this predictor's configuration.
+
+        Covers class, parameters and (for hybrids) component structure, but
+        no learned state; equal signatures mean interchangeable predictors.
+        """
+        return config_signature_of(self)
 
     def reset(self) -> None:
         """Forget all learned state and statistics."""

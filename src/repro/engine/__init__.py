@@ -1,0 +1,45 @@
+"""Parallel campaign execution engine with a persistent result cache.
+
+A campaign ("trace every benchmark, simulate every predictor over every
+trace") decomposes into independent work units:
+
+* **trace tasks** — run one workload at one scale into a value trace;
+* **simulate tasks** — run one predictor over one trace into a
+  :class:`~repro.simulation.simulator.PredictorShard`;
+* **merge** — recombine the per-predictor shards of one trace into the
+  joint :class:`~repro.simulation.simulator.SimulationResult`.
+
+The :class:`ExecutionEngine` schedules those units across a
+``multiprocessing`` worker pool (``jobs=1`` runs everything in-process) and
+backs both task kinds with a content-addressed on-disk cache keyed by
+(workload, scale, trace digest, predictor configuration), so warm reruns
+skip tracing and simulation entirely — across processes, not just within
+one.  ``repro.simulation.campaign.run_campaign`` is a thin façade over this
+package.
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.fingerprint import (
+    key_digest,
+    predictor_signature,
+    predictors_fingerprint,
+    trace_digest,
+)
+from repro.engine.progress import ConsoleProgress, NullProgress, ProgressListener
+from repro.engine.scheduler import EngineStats, ExecutionEngine
+from repro.engine.tasks import SimulateTask, TraceTask
+
+__all__ = [
+    "ConsoleProgress",
+    "EngineStats",
+    "ExecutionEngine",
+    "NullProgress",
+    "ProgressListener",
+    "ResultCache",
+    "SimulateTask",
+    "TraceTask",
+    "key_digest",
+    "predictor_signature",
+    "predictors_fingerprint",
+    "trace_digest",
+]

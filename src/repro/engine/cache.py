@@ -1,0 +1,66 @@
+"""Content-addressed on-disk store for campaign work-unit results.
+
+Layout: ``<root>/<kind>/<digest[:2]>/<digest>.json`` where ``digest`` is
+the SHA-256 of the canonical JSON form of the work unit's cache key.  Each
+file records both the key (for inspectability — ``grep`` a cache dir to see
+what produced an entry) and the JSON payload.  Writes go through a
+temporary file plus :func:`os.replace`, so concurrent producers of the same
+entry race benignly: both write identical content and the last rename wins
+atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+from repro.engine.fingerprint import key_digest
+
+
+class ResultCache:
+    """Persistent cache of task results, shared by every engine run."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, kind: str, key: Mapping) -> Path:
+        digest = key_digest(key)
+        return self.root / kind / digest[:2] / f"{digest}.json"
+
+    def get(self, kind: str, key: Mapping) -> dict | None:
+        """Return the stored payload for ``key``, or ``None`` on a miss.
+
+        Unreadable or truncated entries (e.g. from a killed writer on a
+        filesystem without atomic replace) count as misses, so a corrupt
+        cache degrades to recomputation rather than failure.
+        """
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            payload = entry["payload"]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, kind: str, key: Mapping, payload: dict) -> Path:
+        """Store ``payload`` under ``key`` and return the entry's path."""
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump({"key": dict(key), "payload": payload}, handle)
+        os.replace(temporary, path)
+        return path
+
+    def entry_count(self) -> int:
+        """Number of entries currently stored (all kinds)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*/*.json"))

@@ -1,0 +1,168 @@
+"""JSON round-trip codecs for simulation artefacts.
+
+Everything the engine moves between processes or persists in the result
+cache goes through these functions: :class:`TraceStatistics`,
+:class:`PredictorResult`, :class:`PredictorShard` and the joint
+:class:`SimulationResult`.  All encodings are plain JSON-compatible dicts
+(string keys, no custom types), so cache files stay greppable and a future
+distributed backend can reuse the same wire format.
+
+Conventions: ``Category`` values are encoded by their string value, PC maps
+by decimal string keys, subset-outcome tuples as ``"10010"``-style bit
+strings, and packed correctness bits as hex.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Category
+from repro.simulation.simulator import (
+    PredictorResult,
+    PredictorShard,
+    SimulationResult,
+)
+from repro.trace.stream import TraceStatistics
+
+
+def _encode_pc_map(mapping: dict[int, int]) -> dict[str, int]:
+    return {str(pc): count for pc, count in mapping.items()}
+
+
+def _decode_pc_map(data: dict[str, int]) -> dict[int, int]:
+    return {int(pc): count for pc, count in data.items()}
+
+
+def _encode_category_map(mapping: dict[Category, int]) -> dict[str, int]:
+    return {category.value: count for category, count in mapping.items()}
+
+
+def _decode_category_map(data: dict[str, int]) -> dict[Category, int]:
+    return {Category(value): count for value, count in data.items()}
+
+
+def _encode_outcome_key(key: tuple[bool, ...]) -> str:
+    return "".join("1" if correct else "0" for correct in key)
+
+
+def _decode_outcome_key(text: str) -> tuple[bool, ...]:
+    return tuple(char == "1" for char in text)
+
+
+# --------------------------------------------------------------------------- #
+# TraceStatistics
+# --------------------------------------------------------------------------- #
+def statistics_to_dict(statistics: TraceStatistics) -> dict:
+    return {
+        "name": statistics.name,
+        "total_dynamic_instructions": statistics.total_dynamic_instructions,
+        "predicted_instructions": statistics.predicted_instructions,
+        "static_instruction_count": statistics.static_instruction_count,
+        "category_dynamic_counts": _encode_category_map(statistics.category_dynamic_counts),
+        "category_static_counts": _encode_category_map(statistics.category_static_counts),
+    }
+
+
+def statistics_from_dict(data: dict) -> TraceStatistics:
+    return TraceStatistics(
+        name=data["name"],
+        total_dynamic_instructions=data["total_dynamic_instructions"],
+        predicted_instructions=data["predicted_instructions"],
+        static_instruction_count=data["static_instruction_count"],
+        category_dynamic_counts=_decode_category_map(data["category_dynamic_counts"]),
+        category_static_counts=_decode_category_map(data["category_static_counts"]),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# PredictorResult / PredictorShard
+# --------------------------------------------------------------------------- #
+def predictor_result_to_dict(result: PredictorResult) -> dict:
+    return {
+        "predictor": result.predictor,
+        "total": result.total,
+        "correct": result.correct,
+        "category_total": _encode_category_map(result.category_total),
+        "category_correct": _encode_category_map(result.category_correct),
+        "pc_correct": _encode_pc_map(result.pc_correct),
+    }
+
+
+def predictor_result_from_dict(data: dict) -> PredictorResult:
+    return PredictorResult(
+        predictor=data["predictor"],
+        total=data["total"],
+        correct=data["correct"],
+        category_total=_decode_category_map(data["category_total"]),
+        category_correct=_decode_category_map(data["category_correct"]),
+        pc_correct=_decode_pc_map(data["pc_correct"]),
+    )
+
+
+def shard_to_dict(shard: PredictorShard) -> dict:
+    return {
+        "result": predictor_result_to_dict(shard.result),
+        "correctness": shard.correctness.hex(),
+        "record_count": shard.record_count,
+    }
+
+
+def shard_from_dict(data: dict) -> PredictorShard:
+    return PredictorShard(
+        result=predictor_result_from_dict(data["result"]),
+        correctness=bytes.fromhex(data["correctness"]),
+        record_count=data["record_count"],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# SimulationResult
+# --------------------------------------------------------------------------- #
+def simulation_to_dict(simulation: SimulationResult) -> dict:
+    return {
+        "trace_name": simulation.trace_name,
+        "predictor_names": list(simulation.predictor_names),
+        "total_records": simulation.total_records,
+        "results": {
+            name: predictor_result_to_dict(result)
+            for name, result in simulation.results.items()
+        },
+        "pc_total": _encode_pc_map(simulation.pc_total),
+        "pc_category": {
+            str(pc): category.value for pc, category in simulation.pc_category.items()
+        },
+        "subset_counts": {
+            _encode_outcome_key(key): count
+            for key, count in simulation.subset_counts.items()
+        },
+        "subset_counts_by_category": {
+            category.value: {
+                _encode_outcome_key(key): count for key, count in counts.items()
+            }
+            for category, counts in simulation.subset_counts_by_category.items()
+        },
+    }
+
+
+def simulation_from_dict(data: dict) -> SimulationResult:
+    return SimulationResult(
+        trace_name=data["trace_name"],
+        predictor_names=tuple(data["predictor_names"]),
+        total_records=data["total_records"],
+        results={
+            name: predictor_result_from_dict(result)
+            for name, result in data["results"].items()
+        },
+        pc_total=_decode_pc_map(data["pc_total"]),
+        pc_category={
+            int(pc): Category(value) for pc, value in data["pc_category"].items()
+        },
+        subset_counts={
+            _decode_outcome_key(key): count
+            for key, count in data["subset_counts"].items()
+        },
+        subset_counts_by_category={
+            Category(value): {
+                _decode_outcome_key(key): count for key, count in counts.items()
+            }
+            for value, counts in data["subset_counts_by_category"].items()
+        },
+    )

@@ -1,0 +1,61 @@
+"""Progress reporting for engine runs.
+
+The engine emits coarse-grained events (phase boundaries, one event per
+completed work unit, a final summary).  :class:`NullProgress` swallows them
+(the library default); :class:`ConsoleProgress` renders a compact live log
+to a stream (the CLI uses stderr, keeping stdout clean for result tables).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+
+class ProgressListener:
+    """No-op base class; subclass and override what you need."""
+
+    def phase_started(self, phase: str, total_tasks: int, cached_tasks: int) -> None:
+        """A phase begins: ``total_tasks`` overall, ``cached_tasks`` already warm."""
+
+    def task_finished(self, phase: str, label: str, cached: bool) -> None:
+        """One work unit completed (or was served from cache)."""
+
+    def campaign_finished(self, stats) -> None:
+        """The whole campaign completed; ``stats`` is an ``EngineStats``."""
+
+
+class NullProgress(ProgressListener):
+    """Silent listener."""
+
+
+class ConsoleProgress(ProgressListener):
+    """Line-per-event progress log, suitable for interactive CLI runs."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._done = 0
+        self._total = 0
+
+    def _emit(self, message: str) -> None:
+        print(message, file=self.stream, flush=True)
+
+    def phase_started(self, phase: str, total_tasks: int, cached_tasks: int) -> None:
+        self._done = 0
+        self._total = total_tasks
+        self._emit(
+            f"[{phase}] {total_tasks} task(s), {cached_tasks} cached, "
+            f"{total_tasks - cached_tasks} to run"
+        )
+
+    def task_finished(self, phase: str, label: str, cached: bool) -> None:
+        self._done += 1
+        source = "cache" if cached else "computed"
+        self._emit(f"[{phase}] {self._done}/{self._total} {label} ({source})")
+
+    def campaign_finished(self, stats) -> None:
+        self._emit(
+            f"[done] traces {stats.traces_computed} computed / {stats.traces_cached} cached; "
+            f"simulations {stats.simulations_computed} computed / "
+            f"{stats.simulations_cached} cached; {stats.total_seconds:.2f}s"
+        )

@@ -1,0 +1,283 @@
+"""Task-graph scheduler: decompose, dispatch, cache, merge.
+
+A campaign run proceeds in three phases:
+
+1. **trace** — every benchmark not already in the cache is traced (in
+   worker processes when ``jobs > 1``) and its canonical text form stored;
+2. **simulate** — every (trace, predictor) pair not in the cache is
+   simulated into a :class:`PredictorShard`;
+3. **merge** — shards are recombined per benchmark into the joint
+   :class:`SimulationResult`, bit-identical to the lockstep loop.
+
+Phases 1 and 2 are embarrassingly parallel; the merge is a cheap single
+pass in the parent.  All cross-process data uses the JSON codecs, so the
+pool path and the cache path share one representation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.codecs import (
+    shard_from_dict,
+    simulation_from_dict,
+    simulation_to_dict,
+    statistics_from_dict,
+)
+from repro.engine.fingerprint import predictor_signature
+from repro.engine.progress import NullProgress, ProgressListener
+from repro.engine.tasks import TASK_FORMAT_VERSION, SimulateTask, TraceTask
+from repro.engine.worker import execute_simulate_task, execute_trace_task
+from repro.simulation.simulator import PredictorShard, merge_shards
+from repro.trace.io import loads_trace
+
+
+@dataclass
+class EngineStats:
+    """What one engine run actually did (vs. served from cache)."""
+
+    benchmarks: int = 0
+    predictors: int = 0
+    traces_computed: int = 0
+    traces_cached: int = 0
+    simulations_computed: int = 0
+    simulations_cached: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def tasks_computed(self) -> int:
+        return self.traces_computed + self.simulations_computed
+
+    @property
+    def tasks_cached(self) -> int:
+        return self.traces_cached + self.simulations_cached
+
+
+class ExecutionEngine:
+    """Schedules campaign work units over workers and the result cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` executes everything in-process (no
+        pickling, no pool) and is the reference serial path.
+    cache_dir:
+        Root of the persistent :class:`ResultCache`; ``None`` disables
+        on-disk caching.
+    use_cache:
+        ``False`` ignores ``cache_dir`` entirely (force recompute).
+    progress:
+        Optional :class:`ProgressListener` receiving live events.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
+        progress: ProgressListener | None = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = ResultCache(cache_dir) if (use_cache and cache_dir is not None) else None
+        self.progress = progress if progress is not None else NullProgress()
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        scale: float,
+        predictors: Sequence[str],
+        benchmarks: Sequence[str],
+    ):
+        """Run one full campaign; returns a ``CampaignResult``.
+
+        Results are bit-identical for every ``jobs`` value: parallelism
+        only changes *where* each work unit executes, and the merge phase
+        reassembles the exact lockstep accounting.
+        """
+        # Imported lazily: campaign.py is the public façade over this
+        # engine and importing it at module level would be circular.
+        from repro.simulation.campaign import CampaignResult
+
+        started = time.perf_counter()
+        predictors = tuple(predictors)
+        benchmarks = tuple(benchmarks)
+        stats = EngineStats(benchmarks=len(benchmarks), predictors=len(predictors))
+        self.stats = stats
+
+        trace_texts, statistics = self._trace_phase(scale, benchmarks, stats)
+        traces = {name: loads_trace(text) for name, text in trace_texts.items()}
+        simulations = self._simulate_phase(predictors, benchmarks, traces, trace_texts, stats)
+
+        stats.total_seconds = time.perf_counter() - started
+        self.progress.campaign_finished(stats)
+        return CampaignResult(
+            scale=scale,
+            predictor_names=predictors,
+            traces=traces,
+            statistics=statistics,
+            simulations=simulations,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phases
+    # ------------------------------------------------------------------ #
+    def _trace_phase(
+        self, scale: float, benchmarks: tuple[str, ...], stats: EngineStats
+    ) -> tuple[dict[str, str], dict]:
+        tasks = {name: TraceTask(benchmark=name, scale=scale) for name in benchmarks}
+        payloads_by_benchmark: dict[str, dict] = {}
+        pending: list[TraceTask] = []
+        for name in benchmarks:
+            cached = self.cache.get("trace", tasks[name].cache_key()) if self.cache else None
+            if cached is not None:
+                payloads_by_benchmark[name] = cached
+                stats.traces_cached += 1
+            else:
+                pending.append(tasks[name])
+
+        self.progress.phase_started("trace", len(benchmarks), stats.traces_cached)
+        for name in payloads_by_benchmark:
+            self.progress.task_finished("trace", name, cached=True)
+        outcomes = self._run_tasks(
+            execute_trace_task,
+            "trace",
+            [task.benchmark for task in pending],
+            [task.payload() for task in pending],
+        )
+        for task, outcome in zip(pending, outcomes):
+            payloads_by_benchmark[task.benchmark] = outcome
+            stats.traces_computed += 1
+            if self.cache:
+                self.cache.put("trace", task.cache_key(), outcome)
+
+        trace_texts = {name: payloads_by_benchmark[name]["trace_text"] for name in benchmarks}
+        statistics = {
+            name: statistics_from_dict(payloads_by_benchmark[name]["statistics"])
+            for name in benchmarks
+        }
+        return trace_texts, statistics
+
+    def _simulate_phase(
+        self,
+        predictors: tuple[str, ...],
+        benchmarks: tuple[str, ...],
+        traces: dict,
+        trace_texts: dict[str, str],
+        stats: EngineStats,
+    ) -> dict:
+        signatures = {name: predictor_signature(name) for name in predictors}
+        digests = {
+            name: sha256(text.encode("utf-8")).hexdigest()
+            for name, text in trace_texts.items()
+        }
+        # A merged result is fully determined by the trace content and the
+        # ordered predictor configurations, so fully-warm benchmarks skip
+        # both the shard fetches and the per-record merge pass.
+        merge_keys = {
+            benchmark: {
+                "kind": "merge",
+                "format": TASK_FORMAT_VERSION,
+                "trace": digests[benchmark],
+                "predictors": [[name, signatures[name]] for name in predictors],
+            }
+            for benchmark in benchmarks
+        }
+        simulations: dict = {}
+        if self.cache:
+            for benchmark in benchmarks:
+                cached = self.cache.get("merge", merge_keys[benchmark])
+                if cached is not None:
+                    simulations[benchmark] = simulation_from_dict(cached["simulation"])
+                    stats.simulations_cached += len(predictors)
+
+        shards: dict[str, dict[str, PredictorShard]] = {}
+        pending: list[SimulateTask] = []
+        for benchmark in benchmarks:
+            if benchmark in simulations:
+                continue
+            shards[benchmark] = {}
+            for predictor in predictors:
+                task = SimulateTask(
+                    benchmark=benchmark,
+                    predictor=predictor,
+                    trace_digest=digests[benchmark],
+                    predictor_signature=signatures[predictor],
+                )
+                cached = self.cache.get("simulate", task.cache_key()) if self.cache else None
+                if cached is not None:
+                    shards[benchmark][predictor] = shard_from_dict(cached["shard"])
+                    stats.simulations_cached += 1
+                else:
+                    pending.append(task)
+
+        total = len(benchmarks) * len(predictors)
+        self.progress.phase_started("simulate", total, stats.simulations_cached)
+        for benchmark in benchmarks:
+            if benchmark in simulations:
+                self.progress.task_finished("simulate", f"{benchmark}:*", cached=True)
+                continue
+            for predictor in shards[benchmark]:
+                self.progress.task_finished(
+                    "simulate", f"{benchmark}:{predictor}", cached=True
+                )
+        inline = self.jobs == 1 or len(pending) <= 1
+        outcomes = self._run_tasks(
+            execute_simulate_task,
+            "simulate",
+            [f"{task.benchmark}:{task.predictor}" for task in pending],
+            [task.payload(traces[task.benchmark], inline=inline) for task in pending],
+        )
+        for task, outcome in zip(pending, outcomes):
+            shards[task.benchmark][task.predictor] = shard_from_dict(outcome["shard"])
+            stats.simulations_computed += 1
+            if self.cache:
+                self.cache.put("simulate", task.cache_key(), outcome)
+
+        for benchmark in benchmarks:
+            if benchmark in simulations:
+                continue
+            merged = merge_shards(
+                traces[benchmark],
+                {predictor: shards[benchmark][predictor] for predictor in predictors},
+            )
+            simulations[benchmark] = merged
+            if self.cache:
+                self.cache.put(
+                    "merge", merge_keys[benchmark], {"simulation": simulation_to_dict(merged)}
+                )
+        return {benchmark: simulations[benchmark] for benchmark in benchmarks}
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _run_tasks(
+        self,
+        function: Callable[[dict], dict],
+        phase: str,
+        labels: Sequence[str],
+        payloads: Sequence[dict],
+    ) -> list[dict]:
+        """Execute payloads in-process or across the pool, in input order."""
+        results: list[dict] = []
+        if not payloads:
+            return results
+        if self.jobs == 1 or len(payloads) == 1:
+            for label, payload in zip(labels, payloads):
+                results.append(function(payload))
+                self.progress.task_finished(phase, label, cached=False)
+            return results
+        workers = min(self.jobs, len(payloads))
+        with multiprocessing.get_context().Pool(processes=workers) as pool:
+            for label, outcome in zip(labels, pool.imap(function, payloads)):
+                results.append(outcome)
+                self.progress.task_finished(phase, label, cached=False)
+        return results

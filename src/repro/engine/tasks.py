@@ -1,0 +1,85 @@
+"""Work-unit definitions for the campaign task graph.
+
+A campaign decomposes into :class:`TraceTask` units (one per benchmark) and
+:class:`SimulateTask` units (one per (benchmark, predictor) pair); the
+merge of simulate shards back into joint results is cheap and always runs
+in the parent.  Each task knows its cache key — the full set of inputs its
+output depends on — and how to render itself into a picklable payload for
+the worker protocol (:mod:`repro.engine.worker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.stream import ValueTrace
+
+#: Bump when the meaning of a task's output changes incompatibly, so stale
+#: cache entries from older code are bypassed instead of misread.
+TASK_FORMAT_VERSION = 1
+
+
+def _canonical_scale(scale: float) -> str:
+    """Render a scale factor stably for use inside cache keys."""
+    return repr(round(float(scale), 9))
+
+
+@dataclass(frozen=True)
+class TraceTask:
+    """Trace one benchmark at one scale (default input and flags)."""
+
+    benchmark: str
+    scale: float
+
+    def cache_key(self) -> dict:
+        return {
+            "kind": "trace",
+            "format": TASK_FORMAT_VERSION,
+            "workload": self.benchmark,
+            "scale": _canonical_scale(self.scale),
+        }
+
+    def payload(self) -> dict:
+        return {"benchmark": self.benchmark, "scale": self.scale}
+
+
+@dataclass(frozen=True)
+class SimulateTask:
+    """Simulate one predictor (by configuration) over one trace."""
+
+    benchmark: str
+    predictor: str
+    trace_digest: str
+    predictor_signature: str
+
+    def cache_key(self) -> dict:
+        return {
+            "kind": "simulate",
+            "format": TASK_FORMAT_VERSION,
+            "trace": self.trace_digest,
+            "predictor": self.predictor,
+            "signature": self.predictor_signature,
+        }
+
+    def payload(self, trace: ValueTrace, inline: bool) -> dict:
+        """Build the worker payload.
+
+        ``inline`` payloads carry the trace object itself (no serialisation
+        cost; used when executing in-process), otherwise the trace travels
+        as its canonical text form so the payload stays picklable and
+        wire-friendly.  The expected predictor signature rides along so a
+        worker whose registry disagrees (e.g. a ``spawn``-start process
+        that re-imported a registry without a dynamic re-binding) fails
+        loudly instead of simulating the wrong configuration.
+        """
+        from repro.trace.io import dumps_trace
+
+        payload: dict = {
+            "predictor": self.predictor,
+            "signature": self.predictor_signature,
+        }
+        if inline:
+            payload["trace"] = trace
+        else:
+            payload["trace_text"] = dumps_trace(trace)
+        return payload

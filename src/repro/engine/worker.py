@@ -1,0 +1,49 @@
+"""Worker-side protocol of the execution engine.
+
+These module-level functions are the only code that runs inside pool
+workers, so they must stay importable (picklable by reference) and accept
+plain-dict payloads built by :mod:`repro.engine.tasks`.  Results are
+returned as JSON-compatible dicts — the exact representation the cache
+stores — so the parent handles pool output and cache hits identically.
+"""
+
+from __future__ import annotations
+
+from repro.core.registry import create_predictor
+from repro.engine.codecs import shard_to_dict, statistics_to_dict
+from repro.errors import SimulationError
+from repro.simulation.simulator import simulate_shard
+from repro.trace.io import dumps_trace, loads_trace
+from repro.workloads.suite import get_workload
+
+
+def execute_trace_task(payload: dict) -> dict:
+    """Run one benchmark into a trace; returns its text form plus statistics."""
+    workload = get_workload(payload["benchmark"])
+    trace = workload.trace(scale=payload["scale"])
+    return {
+        "trace_text": dumps_trace(trace),
+        "statistics": statistics_to_dict(trace.statistics()),
+    }
+
+
+def execute_simulate_task(payload: dict) -> dict:
+    """Simulate one predictor over one trace; returns the encoded shard."""
+    trace = payload.get("trace")
+    if trace is None:
+        trace = loads_trace(payload["trace_text"])
+    name = payload["predictor"]
+    expected_signature = payload.get("signature")
+    if expected_signature is not None:
+        local_signature = create_predictor(name).config_signature()
+        if local_signature != expected_signature:
+            # A worker whose registry binds `name` differently than the
+            # scheduler's (possible under the spawn start method, where
+            # dynamic re-bindings are not inherited) must not produce a
+            # shard that would be cached under the scheduler's signature.
+            raise SimulationError(
+                f"predictor {name!r} is configured differently in this worker: "
+                f"expected signature {expected_signature!r}, got {local_signature!r}"
+            )
+    shard = simulate_shard(trace, name)
+    return {"shard": shard_to_dict(shard)}

@@ -7,7 +7,10 @@ and a rendered plain-text form.
 
 The suite-wide artefacts (Tables 2/4/5, Figures 3-10) share one cached
 campaign per ``scale``, so regenerating all of them costs a single suite
-simulation.
+simulation.  Campaigns execute on :class:`repro.engine.ExecutionEngine`:
+``repro.simulation.campaign.set_campaign_defaults`` (which the CLI wires to
+``--jobs``/``--cache-dir``/``--no-cache``) selects worker-pool parallelism
+and a persistent result cache without touching the entry points below.
 """
 
 from __future__ import annotations

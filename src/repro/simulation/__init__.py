@@ -10,9 +10,13 @@ cumulative FCM-over-stride improvement (Figure 9), unique-value profiles
 """
 
 from repro.simulation.simulator import (
+    SIMULATION_COUNTER,
     PredictionSimulator,
     PredictorResult,
+    PredictorShard,
     SimulationResult,
+    merge_shards,
+    simulate_shard,
     simulate_trace,
 )
 from repro.simulation.metrics import AccuracyReport, build_accuracy_report, arithmetic_mean
@@ -24,12 +28,20 @@ from repro.simulation.sensitivity import (
     input_sensitivity,
     flag_sensitivity,
 )
-from repro.simulation.campaign import run_campaign, campaign_scale_for
+from repro.simulation.campaign import (
+    campaign_scale_for,
+    run_campaign,
+    set_campaign_defaults,
+)
 
 __all__ = [
+    "SIMULATION_COUNTER",
     "PredictionSimulator",
     "PredictorResult",
+    "PredictorShard",
     "SimulationResult",
+    "merge_shards",
+    "simulate_shard",
     "simulate_trace",
     "AccuracyReport",
     "build_accuracy_report",
@@ -47,4 +59,5 @@ __all__ = [
     "flag_sensitivity",
     "run_campaign",
     "campaign_scale_for",
+    "set_campaign_defaults",
 ]

@@ -1,22 +1,36 @@
-"""Whole-suite simulation campaigns with caching.
+"""Whole-suite simulation campaigns — a façade over the execution engine.
 
 Most of the paper's evaluation artefacts (Tables 2, 4, 5 and Figures 3-10)
 are different views of the *same* underlying run: every benchmark traced
-once, every trace fed to the same predictor line-up.  A campaign performs
-that run once and the experiment modules share it; results are cached by
-``(scale, predictors, benchmarks)`` so regenerating several tables and
-figures in one process does not re-simulate the suite each time.
+once, every trace fed to the same predictor line-up.  :func:`run_campaign`
+performs that run through :class:`repro.engine.ExecutionEngine`, which
+decomposes it into independent work units, optionally spreads them over a
+``multiprocessing`` pool (``jobs``) and backs them with a persistent
+on-disk cache (``cache_dir``) shared across processes.
+
+Within one process, results are additionally memoised by
+``(scale, predictor fingerprints, benchmarks)`` so regenerating several
+tables and figures does not re-simulate the suite each time.  The
+fingerprint covers each predictor's *configuration* (not just its registry
+name), so re-binding a name to a different configuration cannot serve
+stale results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.registry import PAPER_PREDICTORS
-from repro.simulation.simulator import SimulationResult, simulate_trace
+from repro.simulation.simulator import SimulationResult
 from repro.trace.stream import TraceStatistics, ValueTrace
-from repro.workloads.suite import BENCHMARK_ORDER, run_suite
+from repro.workloads.suite import BENCHMARK_ORDER
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.engine imports this
+    # module's CampaignResult, so a top-level import would be circular.
+    from repro.engine.progress import ProgressListener
+    from repro.engine.scheduler import EngineStats
 
 #: Default scale used by experiments when none is specified.  Chosen so a
 #: full campaign (7 benchmarks x 5 predictors) completes in well under a
@@ -44,7 +58,19 @@ class CampaignResult:
         return tuple(self.traces)
 
 
+@dataclass
+class EngineDefaults:
+    """Process-wide engine settings used when ``run_campaign`` callers
+    (e.g. the experiment modules) do not pass their own."""
+
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    use_cache: bool = True
+
+
 _CACHE: dict[tuple, CampaignResult] = {}
+_ENGINE_DEFAULTS = EngineDefaults()
+_LAST_STATS: EngineStats | None = None
 
 
 def campaign_scale_for(profile: str) -> float:
@@ -52,37 +78,80 @@ def campaign_scale_for(profile: str) -> float:
     return QUICK_SCALE if profile == "quick" else DEFAULT_SCALE
 
 
+def set_campaign_defaults(
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool | None = None,
+) -> None:
+    """Configure the engine used by default for subsequent campaigns.
+
+    The CLI routes ``--jobs``/``--cache-dir``/``--no-cache`` through here
+    so that the experiment entry points — whose signatures only carry
+    ``scale`` — still execute on the configured engine.
+    """
+    if jobs is not None:
+        _ENGINE_DEFAULTS.jobs = max(1, int(jobs))
+    if cache_dir is not None:
+        _ENGINE_DEFAULTS.cache_dir = cache_dir
+    if use_cache is not None:
+        _ENGINE_DEFAULTS.use_cache = use_cache
+
+
+def reset_campaign_defaults() -> None:
+    """Restore the serial, cache-less engine defaults (used by tests)."""
+    _ENGINE_DEFAULTS.jobs = 1
+    _ENGINE_DEFAULTS.cache_dir = None
+    _ENGINE_DEFAULTS.use_cache = True
+
+
+def last_engine_stats() -> EngineStats | None:
+    """Stats of the most recent engine run (``None`` before any run)."""
+    return _LAST_STATS
+
+
 def run_campaign(
     scale: float = DEFAULT_SCALE,
     predictors: tuple[str, ...] = PAPER_PREDICTORS,
     benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
     use_cache: bool = True,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    progress: ProgressListener | None = None,
 ) -> CampaignResult:
-    """Trace every benchmark and simulate every predictor over each trace."""
-    key = (round(scale, 6), tuple(predictors), tuple(benchmarks))
+    """Trace every benchmark and simulate every predictor over each trace.
+
+    ``use_cache`` governs both the in-process memo and the on-disk cache;
+    ``jobs``/``cache_dir`` default to the process-wide engine settings
+    (see :func:`set_campaign_defaults`).
+    """
+    from repro.engine.fingerprint import predictors_fingerprint
+    from repro.engine.scheduler import ExecutionEngine
+
+    global _LAST_STATS
+    use_cache = use_cache and _ENGINE_DEFAULTS.use_cache
+    key = (
+        round(scale, 6),
+        predictors_fingerprint(predictors),
+        tuple(benchmarks),
+    )
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
-    runs = run_suite(scale=scale, benchmarks=benchmarks)
-    traces = {name: run.trace for name, run in runs.items()}
-    statistics = {name: trace.statistics() for name, trace in traces.items()}
-    simulations = {
-        name: simulate_trace(trace, predictors) for name, trace in traces.items()
-    }
-    result = CampaignResult(
-        scale=scale,
-        predictor_names=tuple(predictors),
-        traces=traces,
-        statistics=statistics,
-        simulations=simulations,
+    engine = ExecutionEngine(
+        jobs=_ENGINE_DEFAULTS.jobs if jobs is None else jobs,
+        cache_dir=_ENGINE_DEFAULTS.cache_dir if cache_dir is None else cache_dir,
+        use_cache=use_cache,
+        progress=progress,
     )
+    result = engine.run(scale=scale, predictors=tuple(predictors), benchmarks=tuple(benchmarks))
+    _LAST_STATS = engine.stats
     if use_cache:
         _CACHE[key] = result
     return result
 
 
 def clear_campaign_cache() -> None:
-    """Drop all cached campaign results (used by tests)."""
+    """Drop all in-process cached campaign results (used by tests)."""
     _CACHE.clear()
 
 

@@ -6,17 +6,51 @@ PC, compare it with the true value, then immediately update the table with
 the true value.  All predictors see the same trace in lockstep, which also
 lets the simulator tabulate the joint outcomes needed by the predicted-set
 correlation analysis (Figure 8).
+
+The same accounting is also available *split per predictor*: because every
+predictor's table only ever sees its own updates, simulating one predictor
+alone over a trace yields exactly the per-record outcomes it would have in
+the lockstep loop.  :func:`simulate_shard` produces one such
+:class:`PredictorShard` (per-predictor totals plus the packed per-record
+correctness bits) and :func:`merge_shards` recombines shards into the same
+joint :class:`SimulationResult` — including ``subset_counts`` — that the
+lockstep loop produces.  The execution engine (:mod:`repro.engine`) relies
+on this to scatter (trace, predictor) pairs across worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 from repro.core.base import ValuePredictor
 from repro.core.registry import create_predictor
 from repro.errors import SimulationError
 from repro.isa.opcodes import Category
 from repro.trace.stream import ValueTrace
+
+
+class SimulationCounter:
+    """Counts (trace, predictor) simulations actually performed.
+
+    The engine's warm-cache tests hook this to assert that a cached rerun
+    performs **zero** simulations in-process.  Worker subprocesses keep
+    their own copy, so under ``jobs > 1`` consult the engine's
+    :class:`~repro.engine.scheduler.EngineStats` instead.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.count += amount
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+#: Process-wide counter incremented once per (trace, predictor) simulation.
+SIMULATION_COUNTER = SimulationCounter()
 
 
 @dataclass
@@ -86,6 +120,7 @@ class PredictionSimulator:
     def run(self, trace: ValueTrace) -> SimulationResult:
         """Simulate every configured predictor over ``trace``."""
         names = tuple(self.predictors)
+        SIMULATION_COUNTER.increment(len(names))
         predictor_objects = [self.predictors[name] for name in names]
         results = {name: PredictorResult(predictor=name) for name in names}
         result_objects = [results[name] for name in names]
@@ -134,3 +169,111 @@ def simulate_trace(
 ) -> SimulationResult:
     """Convenience wrapper: fresh predictors by name, one trace, one result."""
     return PredictionSimulator.from_names(tuple(predictor_names)).run(trace)
+
+
+# --------------------------------------------------------------------------- #
+# Split accounting: one predictor at a time, recombined losslessly
+# --------------------------------------------------------------------------- #
+def pack_outcomes(outcomes: Iterable[bool]) -> bytes:
+    """Pack a per-record correctness sequence into bits (LSB-first)."""
+    packed = bytearray()
+    current = 0
+    filled = 0
+    for outcome in outcomes:
+        if outcome:
+            current |= 1 << filled
+        filled += 1
+        if filled == 8:
+            packed.append(current)
+            current = 0
+            filled = 0
+    if filled:
+        packed.append(current)
+    return bytes(packed)
+
+
+def outcome_at(packed: bytes, index: int) -> bool:
+    """Read back one correctness bit written by :func:`pack_outcomes`."""
+    return bool(packed[index >> 3] & (1 << (index & 7)))
+
+
+@dataclass
+class PredictorShard:
+    """One predictor's complete outcome over one trace.
+
+    Besides the aggregate :class:`PredictorResult` this keeps the packed
+    per-record correctness bits, which is exactly the extra information
+    needed to rebuild the joint ``subset_counts`` of the lockstep loop when
+    several shards over the same trace are merged.
+    """
+
+    result: PredictorResult
+    correctness: bytes
+    record_count: int
+
+
+def simulate_shard(trace: ValueTrace, predictor_name: str) -> PredictorShard:
+    """Simulate a single fresh predictor over ``trace``.
+
+    Produces bit-identical per-record outcomes to the same predictor's slot
+    in the lockstep loop: predictor tables are private, so no other
+    predictor can influence them.
+    """
+    SIMULATION_COUNTER.increment()
+    predictor = create_predictor(predictor_name)
+    result = PredictorResult(predictor=predictor_name)
+    outcomes: list[bool] = []
+    for record in trace.records:
+        category = record.category
+        correct = predictor.observe(record.pc, record.value, category)
+        outcomes.append(correct)
+        result.total += 1
+        result.category_total[category] = result.category_total.get(category, 0) + 1
+        if correct:
+            result.correct += 1
+            result.category_correct[category] = result.category_correct.get(category, 0) + 1
+            result.pc_correct[record.pc] = result.pc_correct.get(record.pc, 0) + 1
+    return PredictorShard(
+        result=result, correctness=pack_outcomes(outcomes), record_count=len(trace)
+    )
+
+
+def merge_shards(
+    trace: ValueTrace, shards: Mapping[str, PredictorShard]
+) -> SimulationResult:
+    """Recombine per-predictor shards into the joint lockstep result.
+
+    The shard mapping's order fixes ``predictor_names`` and therefore the
+    position of each predictor in the ``subset_counts`` outcome tuples.
+    """
+    if not shards:
+        raise SimulationError("at least one shard is required to merge")
+    names = tuple(shards)
+    for name in names:
+        if shards[name].record_count != len(trace):
+            raise SimulationError(
+                f"shard for {name!r} covers {shards[name].record_count} records, "
+                f"trace {trace.name!r} has {len(trace)}"
+            )
+    packed = [shards[name].correctness for name in names]
+    pc_total: dict[int, int] = {}
+    pc_category: dict[int, Category] = {}
+    subset_counts: dict[tuple[bool, ...], int] = {}
+    subset_by_category: dict[Category, dict[tuple[bool, ...], int]] = {}
+    for index, record in enumerate(trace.records):
+        pc_total[record.pc] = pc_total.get(record.pc, 0) + 1
+        pc_category.setdefault(record.pc, record.category)
+        key = tuple(outcome_at(bits, index) for bits in packed)
+        subset_counts[key] = subset_counts.get(key, 0) + 1
+        per_category = subset_by_category.setdefault(record.category, {})
+        per_category[key] = per_category.get(key, 0) + 1
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_names=names,
+        total_records=len(trace),
+        results={name: shards[name].result for name in names},
+        pc_total=pc_total,
+        pc_category=pc_category,
+        subset_counts=subset_counts,
+        subset_counts_by_category=subset_by_category,
+    )

@@ -11,20 +11,28 @@ from __future__ import annotations
 import io
 from pathlib import Path
 from typing import TextIO
+from urllib.parse import quote, unquote
 
 from repro.errors import TraceError
 from repro.isa.opcodes import Opcode, category_of
 from repro.trace.record import TraceRecord
 from repro.trace.stream import ValueTrace
 
-_FORMAT_VERSION = 1
+#: v1 wrote the name verbatim (corrupting it if it contained spaces);
+#: v2 percent-encodes it.  The loader keys decoding off the header version
+#: so v1 files — whose names may contain literal ``%`` — stay readable.
+_FORMAT_VERSION = 2
 _HEADER_PREFIX = "#repro-trace"
 
 
 def dump_trace(trace: ValueTrace, destination: TextIO) -> None:
-    """Write ``trace`` to an open text stream."""
+    """Write ``trace`` to an open text stream.
+
+    The name is percent-encoded so that whitespace (or ``=``) in a trace
+    name cannot corrupt the space-separated ``key=value`` header fields.
+    """
     destination.write(
-        f"{_HEADER_PREFIX} v{_FORMAT_VERSION} name={trace.name} "
+        f"{_HEADER_PREFIX} v{_FORMAT_VERSION} name={quote(trace.name, safe='')} "
         f"total={trace.total_dynamic_instructions} records={len(trace)}\n"
     )
     for record in trace:
@@ -43,10 +51,16 @@ def load_trace(source: TextIO) -> ValueTrace:
     header = source.readline()
     if not header.startswith(_HEADER_PREFIX):
         raise TraceError("not a repro trace: missing header line")
-    fields = dict(
-        part.split("=", 1) for part in header.strip().split() if "=" in part
-    )
+    tokens = header.strip().split()
+    version = 1
+    for token in tokens[1:]:
+        if len(token) > 1 and token[0] == "v" and token[1:].isdigit():
+            version = int(token[1:])
+            break
+    fields = dict(part.split("=", 1) for part in tokens if "=" in part)
     name = fields.get("name", "trace")
+    if version >= 2:
+        name = unquote(name)
     try:
         total = int(fields["total"])
         expected_records = int(fields["records"])

@@ -21,6 +21,8 @@ optimisation passes run over the IR.
 
 from __future__ import annotations
 
+from zlib import crc32
+
 from repro.isa.memory import SparseMemory
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.base import Workload
@@ -83,7 +85,10 @@ class GccWorkload(Workload):
         self, token_count: int, node_count: int, symbol_count: int, input_name: str
     ) -> SparseMemory:
         memory = SparseMemory()
-        rng = self.rng(seed=hash(input_name) & 0xFFFF)
+        # crc32, not hash(): str hashing is randomized per process
+        # (PYTHONHASHSEED), and the trace must be bit-identical across
+        # processes for the engine's content-addressed result cache.
+        rng = self.rng(seed=crc32(input_name.encode("utf-8")) & 0xFFFF)
 
         # Token stream: kind in the low bits, payload above.  Kind frequencies
         # are skewed (identifiers and operators dominate) like real source.

@@ -1,0 +1,56 @@
+"""Round-trip tests for the engine's JSON codecs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.codecs import (
+    predictor_result_from_dict,
+    predictor_result_to_dict,
+    shard_from_dict,
+    shard_to_dict,
+    simulation_from_dict,
+    simulation_to_dict,
+    statistics_from_dict,
+    statistics_to_dict,
+)
+from repro.simulation.simulator import simulate_shard, simulate_trace
+
+
+def _json_round_trip(data):
+    """Force an actual JSON encode/decode, as the cache and pool paths do."""
+    return json.loads(json.dumps(data))
+
+
+class TestStatisticsCodec:
+    def test_round_trip(self, compress_trace):
+        statistics = compress_trace.statistics()
+        restored = statistics_from_dict(_json_round_trip(statistics_to_dict(statistics)))
+        assert restored == statistics
+
+
+class TestPredictorResultCodec:
+    def test_round_trip(self, compress_trace):
+        result = simulate_trace(compress_trace, ("s2",)).results["s2"]
+        restored = predictor_result_from_dict(
+            _json_round_trip(predictor_result_to_dict(result))
+        )
+        assert restored == result
+        assert restored.accuracy == result.accuracy
+
+
+class TestShardCodec:
+    def test_round_trip(self, compress_trace):
+        shard = simulate_shard(compress_trace, "fcm1")
+        restored = shard_from_dict(_json_round_trip(shard_to_dict(shard)))
+        assert restored == shard
+
+
+class TestSimulationCodec:
+    def test_round_trip(self, compress_trace):
+        simulation = simulate_trace(compress_trace, ("l", "s2", "fcm1"))
+        restored = simulation_from_dict(_json_round_trip(simulation_to_dict(simulation)))
+        assert restored == simulation
+        assert restored.predictor_names == simulation.predictor_names
+        assert restored.subset_counts == simulation.subset_counts
+        assert restored.subset_counts_by_category == simulation.subset_counts_by_category

@@ -57,6 +57,40 @@ class TestCli:
         assert "Table 1" in output
         assert "Figure 1" in output
 
+    def test_campaign_command(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        arguments = [
+            "campaign",
+            "--scale", "0.05",
+            "--benchmarks", "compress", "m88ksim",
+            "--predictors", "l", "s2",
+            "--jobs", "2",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(arguments) == 0
+        output = capsys.readouterr().out
+        assert "compress" in output and "m88ksim" in output
+        assert "simulations: 4 computed, 0 cached" in output
+        # Second run against the same cache dir re-simulates nothing.
+        assert main(arguments) == 0
+        output = capsys.readouterr().out
+        assert "simulations: 0 computed, 4 cached" in output
+        assert "traces: 0 computed, 2 cached" in output
+
+    def test_campaign_no_cache_recomputes(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        arguments = [
+            "campaign",
+            "--scale", "0.05",
+            "--benchmarks", "compress",
+            "--predictors", "l",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(arguments) == 0
+        capsys.readouterr()
+        assert main(arguments + ["--no-cache"]) == 0
+        assert "simulations: 1 computed, 0 cached" in capsys.readouterr().out
+
     def test_experiments_unknown_name_fails(self, capsys):
         assert main(["experiments", "table99"]) == 2
 

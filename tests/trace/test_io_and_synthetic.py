@@ -93,6 +93,27 @@ class TestTraceSerialisation:
         with pytest.raises(TraceError):
             loads_trace(text)
 
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "name with spaces",
+            "name total=7 records=1",
+            "tabs\tand\nnewlines",
+            "percent %20 literal",
+            "trailing space ",
+            "compress:Loads",
+        ],
+    )
+    def test_header_survives_awkward_names(self, name):
+        # Regression: an unquoted name containing spaces used to corrupt
+        # the space-separated key=value header fields on round-trip.
+        trace = trace_from_values([1, 2, 3], name=name)
+        trace.set_total_dynamic_instructions(9)
+        restored = loads_trace(dumps_trace(trace))
+        assert restored.name == name
+        assert restored.total_dynamic_instructions == 9
+        assert [record.value for record in restored] == [1, 2, 3]
+
     @given(values=st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1), min_size=1, max_size=50))
     @settings(max_examples=40, deadline=None)
     def test_round_trip_property(self, values):
