@@ -7,6 +7,9 @@ Subcommands
 ``campaign``
     Run the whole suite-wide campaign through the execution engine, with
     ``--jobs`` worker processes and an optional persistent ``--cache-dir``.
+``cache``
+    Inspect and manage a persistent result cache: ``stats``, ``gc``,
+    ``clear``, ``verify`` (see ``docs/cache-layout.md``).
 ``simulate``
     Run a chosen set of predictors over one benchmark and print accuracy.
 ``workloads`` / ``predictors``
@@ -16,10 +19,12 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from typing import Sequence
 
 from repro.core.registry import PAPER_PREDICTORS, available_predictors, create_predictor
+from repro.engine.cache import ResultCache
 from repro.engine.progress import ConsoleProgress
 from repro.errors import UnknownPredictorError
 from repro.engine.scheduler import ExecutionEngine
@@ -93,6 +98,54 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(campaign)
 
+    cache = subparsers.add_parser(
+        "cache", help="inspect and manage a persistent result cache"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_commands.add_parser(
+        "stats", help="per-kind entry counts and byte footprints"
+    )
+    cache_stats.add_argument(
+        "--fail-if-empty",
+        action="store_true",
+        help="exit non-zero when the cache holds no entries (CI assertion)",
+    )
+    cache_stats.add_argument(
+        "--fail-if-over",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="exit non-zero when the cache exceeds SIZE (e.g. 64KB, 10MB)",
+    )
+    cache_gc = cache_commands.add_parser(
+        "gc", help="evict least-recently-used / expired entries"
+    )
+    cache_gc.add_argument(
+        "--max-bytes",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="evict LRU entries until the cache fits SIZE (e.g. 64KB, 10MB)",
+    )
+    cache_gc.add_argument(
+        "--max-age",
+        type=_parse_age,
+        default=None,
+        metavar="AGE",
+        help="evict entries idle longer than AGE (e.g. 3600, 30m, 12h, 7d)",
+    )
+    cache_clear = cache_commands.add_parser("clear", help="remove every cache entry")
+    cache_verify = cache_commands.add_parser(
+        "verify", help="check every entry decodes and matches its digest"
+    )
+    cache_verify.add_argument(
+        "--remove", action="store_true", help="delete corrupt entries instead of reporting them"
+    )
+    for sub in (cache_stats, cache_gc, cache_clear, cache_verify):
+        sub.add_argument(
+            "--cache-dir", required=True, help="result cache directory to operate on"
+        )
+
     simulate = subparsers.add_parser("simulate", help="simulate predictors over one benchmark")
     simulate.add_argument("benchmark", choices=BENCHMARK_ORDER)
     simulate.add_argument(
@@ -127,12 +180,43 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore all caches and recompute every work unit",
     )
+    parser.add_argument(
+        "--cache-format",
+        choices=("binary", "text"),
+        default="binary",
+        help="storage format for new cache entries (reads accept both)",
+    )
+
+
+_SIZE_UNITS = {"": 1, "B": 1, "KB": 1024, "MB": 1024**2, "GB": 1024**3}
+_AGE_UNITS = {"": 1, "S": 1, "M": 60, "H": 3600, "D": 86400}
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size like ``"65536"``, ``"64KB"`` or ``"1.5MB"``."""
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([A-Za-z]*)\s*", text)
+    unit = match.group(2).upper() if match else None
+    if match is None or unit not in _SIZE_UNITS:
+        raise argparse.ArgumentTypeError(f"invalid size {text!r} (expected e.g. 64KB, 10MB)")
+    return int(float(match.group(1)) * _SIZE_UNITS[unit])
+
+
+def _parse_age(text: str) -> float:
+    """Parse an age like ``"3600"``, ``"30m"``, ``"12h"`` or ``"7d"`` into seconds."""
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([A-Za-z]*)\s*", text)
+    unit = match.group(2).upper() if match else None
+    if match is None or unit not in _AGE_UNITS:
+        raise argparse.ArgumentTypeError(f"invalid age {text!r} (expected e.g. 3600, 30m, 12h)")
+    return float(match.group(1)) * _AGE_UNITS[unit]
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
     names = args.names or sorted(ALL_EXPERIMENTS)
     set_campaign_defaults(
-        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        cache_format=args.cache_format,
     )
     scale = QUICK_SCALE if args.quick and args.scale is None else args.scale
     for name in names:
@@ -164,6 +248,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=ConsoleProgress() if args.progress else None,
+        cache_format=args.cache_format,
     )
     result = engine.run(
         scale=scale, predictors=tuple(args.predictors), benchmarks=tuple(args.benchmarks)
@@ -189,6 +274,65 @@ def _command_campaign(args: argparse.Namespace) -> int:
         f"{stats.simulations_cached} cached; wall time {stats.total_seconds:.2f}s"
     )
     return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        return _cache_stats(cache, args)
+    if args.cache_command == "gc":
+        return _cache_gc(cache, args)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+    if args.cache_command == "verify":
+        return _cache_verify(cache, args)
+    return 2
+
+
+def _cache_stats(cache: ResultCache, args: argparse.Namespace) -> int:
+    stats = cache.stats()
+    rows = [
+        [kind, kind_stats.entries, kind_stats.bytes]
+        for kind, kind_stats in sorted(stats.kinds.items())
+    ]
+    print(format_table(["kind", "entries", "bytes"], rows, title=f"Cache {cache.root}"))
+    print(f"total: {stats.entries} entries, {stats.bytes} bytes")
+    if args.fail_if_empty and stats.entries == 0:
+        print("cache is empty", file=sys.stderr)
+        return 1
+    if args.fail_if_over is not None and stats.bytes > args.fail_if_over:
+        print(f"cache exceeds {args.fail_if_over} bytes ({stats.bytes} stored)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cache_gc(cache: ResultCache, args: argparse.Namespace) -> int:
+    if args.max_bytes is None and args.max_age is None:
+        print("cache gc: pass --max-bytes and/or --max-age", file=sys.stderr)
+        return 2
+    report = cache.gc(max_bytes=args.max_bytes, max_age=args.max_age)
+    print(
+        f"removed {report.removed_entries} entries, freed {report.freed_bytes} bytes; "
+        f"{report.remaining_entries} entries, {report.remaining_bytes} bytes remain"
+    )
+    return 0
+
+
+def _cache_verify(cache: ResultCache, args: argparse.Namespace) -> int:
+    report = cache.verify(remove=args.remove)
+    if report.ok:
+        print(f"checked {report.checked} entries: all ok")
+        return 0
+    for path in report.corrupt:
+        action = "removed" if args.remove else "corrupt"
+        print(f"{action}: {path}", file=sys.stderr)
+    print(
+        f"checked {report.checked} entries: {len(report.corrupt)} corrupt"
+        + (" (removed)" if args.remove else "")
+    )
+    return 0 if args.remove else 1
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
@@ -236,6 +380,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_experiments(args)
     if args.command == "campaign":
         return _command_campaign(args)
+    if args.command == "cache":
+        return _command_cache(args)
     if args.command == "simulate":
         return _command_simulate(args)
     if args.command == "workloads":

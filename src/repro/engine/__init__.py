@@ -14,11 +14,23 @@ The :class:`ExecutionEngine` schedules those units across a
 backs both task kinds with a content-addressed on-disk cache keyed by
 (workload, scale, trace digest, predictor configuration), so warm reruns
 skip tracing and simulation entirely — across processes, not just within
-one.  ``repro.simulation.campaign.run_campaign`` is a thin façade over this
-package.
+one.  Entries are stored either as plain JSON or as compressed binary
+envelopes carrying v3 binary traces (:mod:`repro.engine.codecs`; the
+default), and :class:`ResultCache` provides size accounting, LRU/age
+garbage collection and integrity checking over both — surfaced on the
+command line as ``repro-vp cache``.  ``docs/architecture.md`` maps the
+package; ``repro.simulation.campaign.run_campaign`` is a thin façade over
+it.
 """
 
-from repro.engine.cache import ResultCache
+from repro.engine.cache import (
+    CacheStats,
+    GCReport,
+    KindStats,
+    ResultCache,
+    VerifyReport,
+)
+from repro.engine.codecs import decode_cache_entry, encode_cache_entry
 from repro.engine.fingerprint import (
     key_digest,
     predictor_signature,
@@ -30,14 +42,20 @@ from repro.engine.scheduler import EngineStats, ExecutionEngine
 from repro.engine.tasks import SimulateTask, TraceTask
 
 __all__ = [
+    "CacheStats",
     "ConsoleProgress",
     "EngineStats",
     "ExecutionEngine",
+    "GCReport",
+    "KindStats",
     "NullProgress",
     "ProgressListener",
     "ResultCache",
     "SimulateTask",
     "TraceTask",
+    "VerifyReport",
+    "decode_cache_entry",
+    "encode_cache_entry",
     "key_digest",
     "predictor_signature",
     "predictors_fingerprint",

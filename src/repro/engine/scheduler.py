@@ -3,7 +3,8 @@
 A campaign run proceeds in three phases:
 
 1. **trace** — every benchmark not already in the cache is traced (in
-   worker processes when ``jobs > 1``) and its canonical text form stored;
+   worker processes when ``jobs > 1``) and stored in the configured cache
+   format (compressed binary by default, canonical text on request);
 2. **simulate** — every (trace, predictor) pair not in the cache is
    simulated into a :class:`PredictorShard`;
 3. **merge** — shards are recombined per benchmark into the joint
@@ -19,12 +20,13 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
-from hashlib import sha256
 from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.engine.cache import ResultCache
 from repro.engine.codecs import (
+    payload_trace,
+    payload_trace_digest,
     shard_from_dict,
     simulation_from_dict,
     simulation_to_dict,
@@ -35,7 +37,6 @@ from repro.engine.progress import NullProgress, ProgressListener
 from repro.engine.tasks import TASK_FORMAT_VERSION, SimulateTask, TraceTask
 from repro.engine.worker import execute_simulate_task, execute_trace_task
 from repro.simulation.simulator import PredictorShard, merge_shards
-from repro.trace.io import loads_trace
 
 
 @dataclass
@@ -74,6 +75,12 @@ class ExecutionEngine:
         ``False`` ignores ``cache_dir`` entirely (force recompute).
     progress:
         Optional :class:`ProgressListener` receiving live events.
+    cache_format:
+        Storage format for new cache entries: ``"binary"`` (default)
+        writes the compressed ``.rvpc`` envelope, ``"text"`` the v1 plain
+        JSON files.  Reads always accept both, and both decode to the
+        same canonical payloads, so results — and the trace digests that
+        key them — are bit-identical whichever format a cache holds.
     """
 
     def __init__(
@@ -82,10 +89,14 @@ class ExecutionEngine:
         cache_dir: str | Path | None = None,
         use_cache: bool = True,
         progress: ProgressListener | None = None,
+        cache_format: str = "binary",
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = ResultCache(cache_dir) if (use_cache and cache_dir is not None) else None
         self.progress = progress if progress is not None else NullProgress()
+        self.cache_format = "json" if cache_format == "text" else cache_format
+        if self.cache_format not in ("json", "binary"):
+            raise ValueError(f"unknown cache format {cache_format!r}")
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------ #
@@ -113,9 +124,8 @@ class ExecutionEngine:
         stats = EngineStats(benchmarks=len(benchmarks), predictors=len(predictors))
         self.stats = stats
 
-        trace_texts, statistics = self._trace_phase(scale, benchmarks, stats)
-        traces = {name: loads_trace(text) for name, text in trace_texts.items()}
-        simulations = self._simulate_phase(predictors, benchmarks, traces, trace_texts, stats)
+        traces, digests, statistics = self._trace_phase(scale, benchmarks, stats)
+        simulations = self._simulate_phase(predictors, benchmarks, traces, digests, stats)
 
         stats.total_seconds = time.perf_counter() - started
         self.progress.campaign_finished(stats)
@@ -132,20 +142,38 @@ class ExecutionEngine:
     # ------------------------------------------------------------------ #
     def _trace_phase(
         self, scale: float, benchmarks: tuple[str, ...], stats: EngineStats
-    ) -> tuple[dict[str, str], dict]:
+    ) -> tuple[dict, dict[str, str], dict]:
         tasks = {name: TraceTask(benchmark=name, scale=scale) for name in benchmarks}
-        payloads_by_benchmark: dict[str, dict] = {}
+        traces: dict = {}
+        digests: dict[str, str] = {}
+        statistics: dict = {}
+
+        def materialise(name: str, payload: dict) -> bool:
+            # Binary cache hits materialise straight from the v3 bytes and
+            # use the stored digest, so the canonical text is never rebuilt
+            # on the warm path; fresh and JSON payloads take the text route.
+            # A payload whose embedded trace is corrupt is treated as a
+            # miss: the benchmark is re-traced instead of crashing the run.
+            try:
+                traces[name] = payload_trace(payload)
+                digests[name] = payload_trace_digest(payload)
+                statistics[name] = statistics_from_dict(payload["statistics"])
+            except Exception:
+                traces.pop(name, None)
+                digests.pop(name, None)
+                return False
+            return True
+
         pending: list[TraceTask] = []
         for name in benchmarks:
             cached = self.cache.get("trace", tasks[name].cache_key()) if self.cache else None
-            if cached is not None:
-                payloads_by_benchmark[name] = cached
+            if cached is not None and materialise(name, cached):
                 stats.traces_cached += 1
             else:
                 pending.append(tasks[name])
 
         self.progress.phase_started("trace", len(benchmarks), stats.traces_cached)
-        for name in payloads_by_benchmark:
+        for name in traces:
             self.progress.task_finished("trace", name, cached=True)
         outcomes = self._run_tasks(
             execute_trace_task,
@@ -154,31 +182,24 @@ class ExecutionEngine:
             [task.payload() for task in pending],
         )
         for task, outcome in zip(pending, outcomes):
-            payloads_by_benchmark[task.benchmark] = outcome
+            name = task.benchmark
+            traces[name] = payload_trace(outcome)
+            digests[name] = payload_trace_digest(outcome)
+            statistics[name] = statistics_from_dict(outcome["statistics"])
             stats.traces_computed += 1
             if self.cache:
-                self.cache.put("trace", task.cache_key(), outcome)
-
-        trace_texts = {name: payloads_by_benchmark[name]["trace_text"] for name in benchmarks}
-        statistics = {
-            name: statistics_from_dict(payloads_by_benchmark[name]["statistics"])
-            for name in benchmarks
-        }
-        return trace_texts, statistics
+                self.cache.put("trace", task.cache_key(), outcome, format=self.cache_format)
+        return traces, digests, statistics
 
     def _simulate_phase(
         self,
         predictors: tuple[str, ...],
         benchmarks: tuple[str, ...],
         traces: dict,
-        trace_texts: dict[str, str],
+        digests: dict[str, str],
         stats: EngineStats,
     ) -> dict:
         signatures = {name: predictor_signature(name) for name in predictors}
-        digests = {
-            name: sha256(text.encode("utf-8")).hexdigest()
-            for name, text in trace_texts.items()
-        }
         # A merged result is fully determined by the trace content and the
         # ordered predictor configurations, so fully-warm benchmarks skip
         # both the shard fetches and the per-record merge pass.
@@ -240,7 +261,7 @@ class ExecutionEngine:
             shards[task.benchmark][task.predictor] = shard_from_dict(outcome["shard"])
             stats.simulations_computed += 1
             if self.cache:
-                self.cache.put("simulate", task.cache_key(), outcome)
+                self.cache.put("simulate", task.cache_key(), outcome, format=self.cache_format)
 
         for benchmark in benchmarks:
             if benchmark in simulations:
@@ -252,7 +273,10 @@ class ExecutionEngine:
             simulations[benchmark] = merged
             if self.cache:
                 self.cache.put(
-                    "merge", merge_keys[benchmark], {"simulation": simulation_to_dict(merged)}
+                    "merge",
+                    merge_keys[benchmark],
+                    {"simulation": simulation_to_dict(merged)},
+                    format=self.cache_format,
                 )
         return {benchmark: simulations[benchmark] for benchmark in benchmarks}
 

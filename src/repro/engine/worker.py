@@ -9,6 +9,8 @@ stores — so the parent handles pool output and cache hits identically.
 
 from __future__ import annotations
 
+from hashlib import sha256
+
 from repro.core.registry import create_predictor
 from repro.engine.codecs import shard_to_dict, statistics_to_dict
 from repro.errors import SimulationError
@@ -18,11 +20,18 @@ from repro.workloads.suite import get_workload
 
 
 def execute_trace_task(payload: dict) -> dict:
-    """Run one benchmark into a trace; returns its text form plus statistics."""
+    """Run one benchmark into a trace; returns its text form plus statistics.
+
+    The digest of the canonical text form rides along so cache readers —
+    the binary ones in particular — never have to re-render the text just
+    to key the simulate phase.
+    """
     workload = get_workload(payload["benchmark"])
     trace = workload.trace(scale=payload["scale"])
+    text = dumps_trace(trace)
     return {
-        "trace_text": dumps_trace(trace),
+        "trace_text": text,
+        "digest": sha256(text.encode("utf-8")).hexdigest(),
         "statistics": statistics_to_dict(trace.statistics()),
     }
 

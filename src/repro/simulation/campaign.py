@@ -66,6 +66,7 @@ class EngineDefaults:
     jobs: int = 1
     cache_dir: str | Path | None = None
     use_cache: bool = True
+    cache_format: str = "binary"
 
 
 _CACHE: dict[tuple, CampaignResult] = {}
@@ -82,12 +83,14 @@ def set_campaign_defaults(
     jobs: int | None = None,
     cache_dir: str | Path | None = None,
     use_cache: bool | None = None,
+    cache_format: str | None = None,
 ) -> None:
     """Configure the engine used by default for subsequent campaigns.
 
-    The CLI routes ``--jobs``/``--cache-dir``/``--no-cache`` through here
-    so that the experiment entry points — whose signatures only carry
-    ``scale`` — still execute on the configured engine.
+    The CLI routes ``--jobs``/``--cache-dir``/``--no-cache``/
+    ``--cache-format`` through here so that the experiment entry points —
+    whose signatures only carry ``scale`` — still execute on the
+    configured engine.
     """
     if jobs is not None:
         _ENGINE_DEFAULTS.jobs = max(1, int(jobs))
@@ -95,6 +98,8 @@ def set_campaign_defaults(
         _ENGINE_DEFAULTS.cache_dir = cache_dir
     if use_cache is not None:
         _ENGINE_DEFAULTS.use_cache = use_cache
+    if cache_format is not None:
+        _ENGINE_DEFAULTS.cache_format = cache_format
 
 
 def reset_campaign_defaults() -> None:
@@ -102,6 +107,7 @@ def reset_campaign_defaults() -> None:
     _ENGINE_DEFAULTS.jobs = 1
     _ENGINE_DEFAULTS.cache_dir = None
     _ENGINE_DEFAULTS.use_cache = True
+    _ENGINE_DEFAULTS.cache_format = "binary"
 
 
 def last_engine_stats() -> EngineStats | None:
@@ -117,6 +123,7 @@ def run_campaign(
     jobs: int | None = None,
     cache_dir: str | Path | None = None,
     progress: ProgressListener | None = None,
+    cache_format: str | None = None,
 ) -> CampaignResult:
     """Trace every benchmark and simulate every predictor over each trace.
 
@@ -142,6 +149,7 @@ def run_campaign(
         cache_dir=_ENGINE_DEFAULTS.cache_dir if cache_dir is None else cache_dir,
         use_cache=use_cache,
         progress=progress,
+        cache_format=_ENGINE_DEFAULTS.cache_format if cache_format is None else cache_format,
     )
     result = engine.run(scale=scale, predictors=tuple(predictors), benchmarks=tuple(benchmarks))
     _LAST_STATS = engine.stats

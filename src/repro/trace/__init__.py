@@ -11,7 +11,18 @@ micro-experiments (:mod:`repro.trace.synthetic`).
 from repro.trace.record import TraceRecord
 from repro.trace.stream import ValueTrace
 from repro.trace.collector import TraceCollector, collect_trace
-from repro.trace.io import dump_trace, load_trace, dumps_trace, loads_trace
+from repro.trace.io import (
+    dump_trace,
+    dump_trace_binary,
+    dumps_trace,
+    dumps_trace_binary,
+    load_trace,
+    load_trace_binary,
+    load_trace_file,
+    loads_trace,
+    loads_trace_binary,
+    save_trace_file,
+)
 from repro.trace.synthetic import (
     trace_from_values,
     trace_from_streams,
@@ -24,9 +35,15 @@ __all__ = [
     "TraceCollector",
     "collect_trace",
     "dump_trace",
+    "dump_trace_binary",
     "load_trace",
+    "load_trace_binary",
+    "load_trace_file",
     "dumps_trace",
+    "dumps_trace_binary",
     "loads_trace",
+    "loads_trace_binary",
+    "save_trace_file",
     "trace_from_values",
     "trace_from_streams",
     "interleave_traces",

@@ -1,16 +1,29 @@
-"""Compact text (de)serialisation of value traces.
+"""(De)serialisation of value traces: text (v1/v2) and binary (v3).
 
-Traces are stored as a small header followed by one line per record:
-``serial pc opcode value``.  Categories are recomputed from the opcode on
-load, so the format stays minimal and the Table 3 mapping remains the single
-source of truth.
+Two wire formats share one record model (``serial pc opcode value``;
+categories are recomputed from the opcode on load, so the Table 3 mapping
+remains the single source of truth):
+
+* **text** — a one-line header followed by one space-separated line per
+  record.  This is the *canonical* encoding: trace digests
+  (:func:`repro.engine.fingerprint.trace_digest`) and the worker wire
+  format are defined over it, so it can never change shape silently.
+* **binary (v3)** — a magic + version header followed by a
+  length-prefixed, varint-packed record block (optionally
+  zlib-compressed).  Roughly 4-8x smaller than the text form and faster
+  to parse; used for cache storage.  ``docs/trace-format.md`` is the
+  normative spec of all three versions.
+
+Binary files and text files are distinguished by the leading magic bytes,
+so :func:`load_trace_file` reads either transparently.
 """
 
 from __future__ import annotations
 
 import io
+import zlib
 from pathlib import Path
-from typing import TextIO
+from typing import BinaryIO, TextIO
 from urllib.parse import quote, unquote
 
 from repro.errors import TraceError
@@ -24,9 +37,78 @@ from repro.trace.stream import ValueTrace
 _FORMAT_VERSION = 2
 _HEADER_PREFIX = "#repro-trace"
 
+#: Binary format version (text formats are v1/v2, binary starts at v3).
+BINARY_FORMAT_VERSION = 3
+#: PNG-style magic: the high bit catches text-mode mangling, ``RVPT`` names
+#: the container ("Repro Value-Prediction Trace"), and CR/LF/EOF bytes catch
+#: newline translation.  A text trace starts with ``#``, so the first byte
+#: alone distinguishes the two families.
+BINARY_MAGIC = b"\x89RVPT\r\n\x1a"
 
+#: Header flag bits (varint-encoded after the version field).
+_FLAG_ZLIB_BODY = 0x01
+
+#: Stable opcode order used only as the *default* table layout; the binary
+#: header embeds the table it actually used, so files survive enum edits.
+_OPCODE_ORDER: tuple[Opcode, ...] = tuple(Opcode)
+
+
+# --------------------------------------------------------------------------- #
+# Varint primitives (shared with the engine's cache-entry envelope)
+# --------------------------------------------------------------------------- #
+def encode_uvarint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer."""
+    if value < 0:
+        raise TraceError(f"cannot uvarint-encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes | memoryview, offset: int) -> tuple[int, int]:
+    """Decode a LEB128 varint at ``offset``; returns ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise TraceError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    """Map a signed integer to an unsigned one (0, -1, 1, -2 → 0, 1, 2, 3)."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+def _encode_svarint(value: int) -> bytes:
+    return encode_uvarint(_zigzag(value))
+
+
+def _decode_svarint(data: bytes | memoryview, offset: int) -> tuple[int, int]:
+    raw, offset = decode_uvarint(data, offset)
+    return _unzigzag(raw), offset
+
+
+# --------------------------------------------------------------------------- #
+# Text format (v1/v2)
+# --------------------------------------------------------------------------- #
 def dump_trace(trace: ValueTrace, destination: TextIO) -> None:
-    """Write ``trace`` to an open text stream.
+    """Write ``trace`` to an open text stream (canonical v2 text form).
 
     The name is percent-encoded so that whitespace (or ``=``) in a trace
     name cannot corrupt the space-separated ``key=value`` header fields.
@@ -40,7 +122,7 @@ def dump_trace(trace: ValueTrace, destination: TextIO) -> None:
 
 
 def dumps_trace(trace: ValueTrace) -> str:
-    """Return the serialised form of ``trace`` as a string."""
+    """Return the canonical text serialisation of ``trace`` as a string."""
     buffer = io.StringIO()
     dump_trace(trace, buffer)
     return buffer.getvalue()
@@ -103,13 +185,247 @@ def loads_trace(text: str) -> ValueTrace:
     return load_trace(io.StringIO(text))
 
 
-def save_trace_file(trace: ValueTrace, path: str | Path) -> None:
-    """Serialise ``trace`` to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        dump_trace(trace, handle)
+# --------------------------------------------------------------------------- #
+# Binary format (v3)
+# --------------------------------------------------------------------------- #
+def dumps_trace_binary(trace: ValueTrace, compress: bool = False) -> bytes:
+    """Serialise ``trace`` into the v3 binary framing.
+
+    Layout (all integers LEB128 varints, signed fields zigzag-mapped)::
+
+        magic(8) version flags
+        name_len name_bytes          -- percent-encoded UTF-8, as in text v2
+        total records
+        opcode_count [op_len op_bytes]*   -- table of opcode mnemonics
+        body_len body_bytes
+
+    The body holds, per record, ``serial_delta pc_delta opcode_index
+    value`` (deltas against the previous record, zigzag-encoded; the
+    opcode index points into the header table).  ``compress=True`` runs
+    the body — not the header — through zlib and sets flag bit 0, so the
+    record count and name stay inspectable without inflating anything.
+    """
+    opcode_index = {opcode: index for index, opcode in enumerate(_OPCODE_ORDER)}
+    body = bytearray()
+    previous_serial = 0
+    previous_pc = 0
+    for record in trace:
+        body += _encode_svarint(record.serial - previous_serial)
+        body += _encode_svarint(record.pc - previous_pc)
+        body += encode_uvarint(opcode_index[record.opcode])
+        body += _encode_svarint(record.value)
+        previous_serial = record.serial
+        previous_pc = record.pc
+
+    flags = 0
+    body_bytes = bytes(body)
+    if compress:
+        flags |= _FLAG_ZLIB_BODY
+        body_bytes = zlib.compress(body_bytes, level=6)
+
+    name_bytes = quote(trace.name, safe="").encode("ascii")
+    out = bytearray(BINARY_MAGIC)
+    out += encode_uvarint(BINARY_FORMAT_VERSION)
+    out += encode_uvarint(flags)
+    out += encode_uvarint(len(name_bytes))
+    out += name_bytes
+    out += encode_uvarint(trace.total_dynamic_instructions)
+    out += encode_uvarint(len(trace))
+    out += encode_uvarint(len(_OPCODE_ORDER))
+    for opcode in _OPCODE_ORDER:
+        mnemonic = opcode.value.encode("ascii")
+        out += encode_uvarint(len(mnemonic))
+        out += mnemonic
+    out += encode_uvarint(len(body_bytes))
+    out += body_bytes
+    return bytes(out)
+
+
+def dump_trace_binary(trace: ValueTrace, destination: BinaryIO, compress: bool = False) -> None:
+    """Write the v3 binary serialisation of ``trace`` to an open byte stream."""
+    destination.write(dumps_trace_binary(trace, compress=compress))
+
+
+def loads_trace_binary(data: bytes) -> ValueTrace:
+    """Parse a trace from bytes produced by :func:`dumps_trace_binary`.
+
+    Raises :class:`TraceError` on a bad magic, an unsupported version, a
+    truncated body or a record-count mismatch — the cache treats any of
+    those as a miss rather than a failure.
+    """
+    view = memoryview(data)
+    if bytes(view[: len(BINARY_MAGIC)]) != BINARY_MAGIC:
+        raise TraceError("not a binary repro trace: bad magic")
+    offset = len(BINARY_MAGIC)
+    version, offset = decode_uvarint(view, offset)
+    if version != BINARY_FORMAT_VERSION:
+        raise TraceError(f"unsupported binary trace version v{version}")
+    flags, offset = decode_uvarint(view, offset)
+    name_length, offset = decode_uvarint(view, offset)
+    if offset + name_length > len(view):
+        raise TraceError("truncated binary trace: name overruns the data")
+    name = unquote(bytes(view[offset : offset + name_length]).decode("ascii"))
+    offset += name_length
+    total, offset = decode_uvarint(view, offset)
+    expected_records, offset = decode_uvarint(view, offset)
+    opcode_count, offset = decode_uvarint(view, offset)
+    table: list[Opcode] = []
+    for _ in range(opcode_count):
+        length, offset = decode_uvarint(view, offset)
+        if offset + length > len(view):
+            raise TraceError("truncated binary trace: opcode table overruns the data")
+        mnemonic = bytes(view[offset : offset + length]).decode("ascii")
+        offset += length
+        try:
+            table.append(Opcode(mnemonic))
+        except ValueError as exc:
+            raise TraceError(f"unknown opcode {mnemonic!r} in binary trace table") from exc
+    body_length, offset = decode_uvarint(view, offset)
+    if offset + body_length > len(view):
+        raise TraceError(
+            f"truncated binary trace: body declares {body_length} bytes, "
+            f"{len(view) - offset} available"
+        )
+    body: bytes | memoryview = view[offset : offset + body_length]
+    if flags & _FLAG_ZLIB_BODY:
+        try:
+            body = zlib.decompress(bytes(body))
+        except zlib.error as exc:
+            raise TraceError("corrupt binary trace: body fails to decompress") from exc
+
+    # One record is four varints; the decode loop is the hot path of every
+    # warm cache read, so the varint reader is inlined rather than calling
+    # _decode_svarint twelve-million times on a long trace.
+    pairs = [(opcode, category_of(opcode)) for opcode in table]
+    records: list[TraceRecord] = []
+    append = records.append
+    data = bytes(body)
+    position = 0
+    serial = 0
+    pc = 0
+    try:
+        for _ in range(expected_records):
+            raw = data[position]
+            position += 1
+            if raw & 0x80:
+                raw &= 0x7F
+                shift = 7
+                while True:
+                    byte = data[position]
+                    position += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+            serial += (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+
+            raw = data[position]
+            position += 1
+            if raw & 0x80:
+                raw &= 0x7F
+                shift = 7
+                while True:
+                    byte = data[position]
+                    position += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+            pc += (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+
+            raw = data[position]
+            position += 1
+            if raw & 0x80:
+                raw &= 0x7F
+                shift = 7
+                while True:
+                    byte = data[position]
+                    position += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+            opcode, category = pairs[raw]
+
+            raw = data[position]
+            position += 1
+            if raw & 0x80:
+                raw &= 0x7F
+                shift = 7
+                while True:
+                    byte = data[position]
+                    position += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+            append(
+                TraceRecord(
+                    serial=serial,
+                    pc=pc,
+                    opcode=opcode,
+                    category=category,
+                    value=(raw >> 1) if not raw & 1 else -((raw + 1) >> 1),
+                )
+            )
+    except IndexError as exc:
+        # data[position] fails only once position has reached the end of
+        # the body; a pairs[raw] failure mid-body is a bad opcode index.
+        if position < len(data):
+            raise TraceError(
+                f"corrupt binary trace: invalid opcode index in record {len(records) + 1}"
+            ) from exc
+        raise TraceError(
+            f"corrupt binary trace: body ends after {len(records)} of "
+            f"{expected_records} records"
+        ) from exc
+    if position != len(data):
+        raise TraceError(
+            f"corrupt binary trace: {len(body) - position} trailing bytes after "
+            f"{expected_records} records"
+        )
+    trace = ValueTrace(name, records)
+    trace.set_total_dynamic_instructions(total)
+    return trace
+
+
+def load_trace_binary(source: BinaryIO) -> ValueTrace:
+    """Read a trace previously written by :func:`dump_trace_binary`."""
+    return loads_trace_binary(source.read())
+
+
+# --------------------------------------------------------------------------- #
+# Format-aware file helpers
+# --------------------------------------------------------------------------- #
+def save_trace_file(
+    trace: ValueTrace,
+    path: str | Path,
+    format: str = "text",
+    compress: bool = False,
+) -> None:
+    """Serialise ``trace`` to ``path`` as ``"text"`` (v2) or ``"binary"`` (v3).
+
+    ``compress`` only applies to the binary format; the text form is the
+    canonical digest encoding and stays uncompressed.
+    """
+    if format == "text":
+        with open(path, "w", encoding="utf-8") as handle:
+            dump_trace(trace, handle)
+    elif format == "binary":
+        with open(path, "wb") as handle:
+            dump_trace_binary(trace, handle, compress=compress)
+    else:
+        raise TraceError(f"unknown trace format {format!r} (expected 'text' or 'binary')")
 
 
 def load_trace_file(path: str | Path) -> ValueTrace:
-    """Load a trace previously saved with :func:`save_trace_file`."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return load_trace(handle)
+    """Load a trace from ``path``, auto-detecting text vs binary by magic."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data.startswith(BINARY_MAGIC):
+        return loads_trace_binary(data)
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceError("not a repro trace: neither binary magic nor UTF-8 text") from exc
+    return loads_trace(text)

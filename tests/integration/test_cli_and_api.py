@@ -97,3 +97,70 @@ class TestCli:
     def test_simulate_rejects_unknown_benchmark(self):
         with pytest.raises(SystemExit):
             main(["simulate", "not-a-benchmark"])
+
+
+class TestCacheCli:
+    CAMPAIGN = [
+        "campaign",
+        "--scale", "0.05",
+        "--benchmarks", "compress",
+        "--predictors", "l",
+    ]
+
+    def _populate(self, cache_dir, extra=()):
+        assert main(self.CAMPAIGN + ["--cache-dir", cache_dir, *extra]) == 0
+
+    def test_stats_reports_kinds_and_fails_when_empty(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--fail-if-empty"]) == 1
+        capsys.readouterr()
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--fail-if-empty"]) == 0
+        output = capsys.readouterr().out
+        for kind in ("trace", "simulate", "merge"):
+            assert kind in output
+        assert "total: 3 entries" in output
+
+    def test_stats_fail_if_over(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--fail-if-over", "1GB"]) == 0
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--fail-if-over", "1B"]) == 1
+
+    def test_gc_bounds_the_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", cache_dir, "--max-bytes", "0"]) == 0
+        assert "removed 3 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--fail-if-empty"]) == 1
+
+    def test_gc_requires_a_bound(self, capsys, tmp_path):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+
+    def test_verify_and_clear(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._populate(str(cache_dir))
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+        assert "all ok" in capsys.readouterr().out
+        entry = next(path for path in cache_dir.glob("*/*/*") if path.is_file())
+        entry.write_bytes(b"garbage")
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 1
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir), "--remove"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+
+    def test_campaign_text_format_writes_json_entries(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._populate(str(cache_dir), extra=["--cache-format", "text"])
+        entries = [path for path in cache_dir.glob("*/*/*") if path.is_file()]
+        assert entries and all(path.suffix == ".json" for path in entries)
+        # A binary-format rerun reads the text cache without recomputing.
+        capsys.readouterr()
+        self._populate(str(cache_dir))
+        assert "simulations: 0 computed, 1 cached" in capsys.readouterr().out
