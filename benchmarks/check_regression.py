@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+CI runs the benchmark harness with ``--benchmark-json`` and feeds the
+result here together with ``benchmarks/BENCH_baseline.json``.  A benchmark
+*regresses* when its mean time exceeds ``threshold`` times the baseline
+mean; any regression fails the job (exit 1).  Benchmarks present in only
+one of the two files are reported but never fail the run, so adding or
+retiring benchmarks does not require touching the baseline in the same
+commit — refresh it with::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only \
+        --benchmark-json=benchmarks/BENCH_baseline.json
+
+The default threshold is deliberately loose (2x) because the baseline and
+the CI run execute on different machine generations; the gate exists to
+catch algorithmic regressions (an accidentally quadratic loop, a cache
+layer silently bypassed), not single-digit-percent noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Map ``fullname`` -> mean seconds for every benchmark in the file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return {
+        bench["fullname"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])
+    }
+
+
+def compare(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    threshold: float,
+    min_seconds: float,
+) -> list[str]:
+    """Return a report line per benchmark; regressions are marked FAIL.
+
+    Benchmarks whose current mean is below ``min_seconds`` never fail: at
+    sub-millisecond scales the ratio measures scheduler noise, not code.
+    A fast benchmark that blows up past the floor is still caught, because
+    the ratio is computed against its (tiny) baseline.
+    """
+    lines = []
+    for name in sorted(current):
+        mean = current[name]
+        base = baseline.get(name)
+        if base is None:
+            lines.append(f"NEW   {name}: {mean:.4f}s (no baseline)")
+        elif base <= 0.0:
+            lines.append(f"SKIP  {name}: baseline mean is {base}")
+        elif mean < min_seconds:
+            lines.append(
+                f"ok    {name}: {mean:.4f}s (below {min_seconds:.3f}s noise floor)"
+            )
+        else:
+            ratio = mean / base
+            status = "FAIL" if ratio > threshold else "ok"
+            lines.append(
+                f"{status:<5} {name}: {mean:.4f}s vs baseline {base:.4f}s "
+                f"({ratio:.2f}x, limit {threshold:.2f}x)"
+            )
+    for name in sorted(set(baseline) - set(current)):
+        lines.append(f"GONE  {name}: in baseline but not in this run")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="pytest-benchmark JSON of this run")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when mean exceeds this multiple of the baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.005,
+        help="never fail benchmarks whose current mean is below this (default 5ms)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_means(args.current)
+    baseline = load_means(args.baseline)
+    if not current:
+        print(f"no benchmarks found in {args.current}", file=sys.stderr)
+        return 2
+
+    lines = compare(current, baseline, args.threshold, args.min_seconds)
+    print("\n".join(lines))
+    failures = [line for line in lines if line.startswith("FAIL")]
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than "
+            f"{args.threshold:.2f}x vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.2f}x ({len(current)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,7 @@ from repro.simulation import (
     run_campaign,
     simulate_trace,
 )
+from repro.engine.sweeps import SweepSpec, run_sweep
 from repro.trace import TraceRecord, ValueTrace, trace_from_values
 from repro.workloads import available_workloads, get_workload, run_suite
 from repro.reporting import ALL_EXPERIMENTS, run_experiment
@@ -91,7 +92,9 @@ __all__ = [
     "PredictionSimulator",
     "SimulationResult",
     "simulate_trace",
+    "SweepSpec",
     "run_campaign",
+    "run_sweep",
     # Experiments
     "ALL_EXPERIMENTS",
     "run_experiment",

@@ -7,6 +7,9 @@ Subcommands
 ``campaign``
     Run the whole suite-wide campaign through the execution engine, with
     ``--jobs`` worker processes and an optional persistent ``--cache-dir``.
+``sweep``
+    Run a parameter sweep (inputs × flags × predictors/orders) over one
+    benchmark through the same engine and cache (see ``docs/sweeps.md``).
 ``cache``
     Inspect and manage a persistent result cache: ``stats``, ``gc``,
     ``clear``, ``verify`` (see ``docs/cache-layout.md``).
@@ -19,6 +22,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from typing import Sequence
@@ -26,8 +30,9 @@ from typing import Sequence
 from repro.core.registry import PAPER_PREDICTORS, available_predictors, create_predictor
 from repro.engine.cache import ResultCache
 from repro.engine.progress import ConsoleProgress
-from repro.errors import UnknownPredictorError
+from repro.errors import UnknownPredictorError, WorkloadError
 from repro.engine.scheduler import ExecutionEngine
+from repro.engine.sweeps import SweepSpec
 from repro.isa.opcodes import REPORTED_CATEGORIES
 from repro.reporting.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.reporting.tables import format_table
@@ -97,6 +102,65 @@ def _build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print live task progress to stderr"
     )
     _add_engine_arguments(campaign)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a parameter sweep (inputs × flags × predictors) over one benchmark",
+    )
+    sweep.add_argument(
+        "--benchmark",
+        default="gcc",
+        choices=BENCHMARK_ORDER,
+        help="benchmark to sweep (default: gcc, as in the paper's Section 4.4)",
+    )
+    sweep.add_argument(
+        "--predictors",
+        nargs="+",
+        default=["fcm2"],
+        help="predictor axis (default: fcm2; see the 'predictors' subcommand)",
+    )
+    sweep.add_argument(
+        "--orders",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fcm-order axis; shorthand for --predictors fcmN... (overrides it)",
+    )
+    sweep.add_argument(
+        "--inputs",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="input-set axis; 'all' expands to every input of the benchmark "
+        "(default: the benchmark's reference input)",
+    )
+    sweep.add_argument(
+        "--flags",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="flag-setting axis; 'all' expands to every flag setting "
+        "(default: the benchmark's reference flags)",
+    )
+    sweep.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=f"workload scale factor (default {DEFAULT_SCALE}; --quick uses {QUICK_SCALE})",
+    )
+    sweep.add_argument(
+        "--quick", action="store_true", help="use the reduced quick-run scale"
+    )
+    sweep.add_argument(
+        "--progress", action="store_true", help="print live task progress to stderr"
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the sweep points and engine stats as JSON instead of a table",
+    )
+    _add_engine_arguments(sweep)
 
     cache = subparsers.add_parser(
         "cache", help="inspect and manage a persistent result cache"
@@ -186,6 +250,21 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default="binary",
         help="storage format for new cache entries (reads accept both)",
     )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="auto-GC the cache down to SIZE after the run (e.g. 64KB, 10MB); "
+        "entries produced by the run itself are never evicted",
+    )
+    parser.add_argument(
+        "--cache-max-age",
+        type=_parse_age,
+        default=None,
+        metavar="AGE",
+        help="auto-GC entries idle longer than AGE after the run (e.g. 30m, 7d)",
+    )
 
 
 _SIZE_UNITS = {"": 1, "B": 1, "KB": 1024, "MB": 1024**2, "GB": 1024**3}
@@ -217,6 +296,8 @@ def _command_experiments(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         cache_format=args.cache_format,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_age=args.cache_max_age,
     )
     scale = QUICK_SCALE if args.quick and args.scale is None else args.scale
     for name in names:
@@ -243,13 +324,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
     scale = args.scale
     if scale is None:
         scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
-    engine = ExecutionEngine(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        progress=ConsoleProgress() if args.progress else None,
-        cache_format=args.cache_format,
-    )
+    engine = _engine_from_arguments(args)
     result = engine.run(
         scale=scale, predictors=tuple(args.predictors), benchmarks=tuple(args.benchmarks)
     )
@@ -267,13 +342,130 @@ def _command_campaign(args: argparse.Namespace) -> int:
             title=f"Campaign — overall accuracy (%) at scale {scale}, jobs={engine.jobs}",
         )
     )
-    stats = engine.stats
-    print(
+    print(_stats_line(engine.stats))
+    return 0
+
+
+def _engine_from_arguments(args: argparse.Namespace) -> ExecutionEngine:
+    """Build the execution engine shared by ``campaign`` and ``sweep``."""
+    return ExecutionEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=ConsoleProgress() if args.progress else None,
+        cache_format=args.cache_format,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_age=args.cache_max_age,
+    )
+
+
+def _stats_line(stats) -> str:
+    """The one-line run summary CI greps for (shared across subcommands)."""
+    return (
         f"traces: {stats.traces_computed} computed, {stats.traces_cached} cached; "
         f"simulations: {stats.simulations_computed} computed, "
         f"{stats.simulations_cached} cached; wall time {stats.total_seconds:.2f}s"
     )
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    predictors = (
+        tuple(f"fcm{order}" for order in args.orders)
+        if args.orders
+        else tuple(args.predictors)
+    )
+    try:
+        for name in predictors:
+            create_predictor(name)
+    except UnknownPredictorError as error:
+        print(error, file=sys.stderr)
+        return 2
+    workload = get_workload(args.benchmark)
+    inputs = _resolve_axis(args.inputs, workload.input_sets)
+    flags = _resolve_axis(args.flags, workload.flag_sets)
+    scale = args.scale
+    if scale is None:
+        scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
+    spec = SweepSpec(
+        benchmark=args.benchmark,
+        scale=scale,
+        inputs=inputs,
+        flags=flags,
+        predictors=predictors,
+    )
+    engine = _engine_from_arguments(args)
+    try:
+        result = engine.run_sweep(spec)
+    except WorkloadError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(_sweep_as_json(result), indent=2))
+        return 0
+    rows = [
+        [
+            entry.point.input_name,
+            entry.point.flags,
+            entry.point.predictor,
+            entry.record_count,
+            entry.accuracy,
+        ]
+        for entry in result.points
+    ]
+    print(
+        format_table(
+            ["input", "flags", "predictor", "predictions", "accuracy (%)"],
+            rows,
+            title=(
+                f"Sweep — {args.benchmark} at scale {scale}, jobs={engine.jobs} "
+                f"({len(result.points)} points)"
+            ),
+        )
+    )
+    print(_stats_line(engine.stats))
     return 0
+
+
+def _resolve_axis(
+    requested: list[str] | None, available: tuple[str, ...]
+) -> tuple[str | None, ...]:
+    """Map a CLI axis argument to spec values (``all`` expands, absent = default)."""
+    if requested is None:
+        return (None,)
+    if requested == ["all"]:
+        return available
+    return tuple(requested)
+
+
+def _sweep_as_json(result) -> dict:
+    spec, stats = result.spec, result.stats
+    return {
+        "spec": {
+            "benchmark": spec.benchmark,
+            "scale": spec.scale,
+            "inputs": list(spec.inputs),
+            "flags": list(spec.flags),
+            "predictors": list(spec.predictors),
+        },
+        "points": [
+            {
+                "benchmark": entry.point.benchmark,
+                "input": entry.point.input_name,
+                "flags": entry.point.flags,
+                "predictor": entry.point.predictor,
+                "predictions": entry.record_count,
+                "accuracy": entry.accuracy,
+            }
+            for entry in result.points
+        ],
+        "stats": {
+            "traces_computed": stats.traces_computed,
+            "traces_cached": stats.traces_cached,
+            "simulations_computed": stats.simulations_computed,
+            "simulations_cached": stats.simulations_cached,
+            "total_seconds": stats.total_seconds,
+        },
+    }
 
 
 def _command_cache(args: argparse.Namespace) -> int:
@@ -380,6 +572,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_experiments(args)
     if args.command == "campaign":
         return _command_campaign(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     if args.command == "cache":
         return _command_cache(args)
     if args.command == "simulate":

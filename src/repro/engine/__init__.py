@@ -39,6 +39,15 @@ from repro.engine.fingerprint import (
 )
 from repro.engine.progress import ConsoleProgress, NullProgress, ProgressListener
 from repro.engine.scheduler import EngineStats, ExecutionEngine
+from repro.engine.sweeps import (
+    SweepPoint,
+    SweepPointResult,
+    SweepResult,
+    SweepSpec,
+    clear_sweep_cache,
+    execute_sweep,
+    run_sweep,
+)
 from repro.engine.tasks import SimulateTask, TraceTask
 
 __all__ = [
@@ -52,8 +61,15 @@ __all__ = [
     "ProgressListener",
     "ResultCache",
     "SimulateTask",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepResult",
+    "SweepSpec",
     "TraceTask",
     "VerifyReport",
+    "clear_sweep_cache",
+    "execute_sweep",
+    "run_sweep",
     "decode_cache_entry",
     "encode_cache_entry",
     "key_digest",

@@ -29,7 +29,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Mapping
 
-from repro.engine.codecs import decode_cache_entry, encode_cache_entry, payload_trace
+from repro.engine.codecs import (
+    decode_cache_entry,
+    encode_cache_entry,
+    payload_trace,
+    payload_trace_text,
+)
 from repro.engine.fingerprint import key_digest
 
 #: Entry filename extensions, in the order ``get`` probes them.  Binary
@@ -151,6 +156,12 @@ class ResultCache:
             with open(temporary, "wb") as handle:
                 handle.write(encode_cache_entry(dict(key), payload))
         else:
+            if "trace_binary" in payload:
+                # A payload decoded from a binary entry carries raw v3
+                # bytes; JSON entries store the canonical text instead.
+                payload = dict(payload)
+                payload["trace_text"] = payload_trace_text(payload)
+                del payload["trace_binary"]
             with open(temporary, "w", encoding="utf-8") as handle:
                 json.dump({"key": dict(key), "payload": payload}, handle)
         os.replace(temporary, path)
@@ -214,7 +225,12 @@ class ResultCache:
     # ------------------------------------------------------------------ #
     # Management
     # ------------------------------------------------------------------ #
-    def gc(self, max_bytes: int | None = None, max_age: float | None = None) -> GCReport:
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age: float | None = None,
+        protect_since: float | None = None,
+    ) -> GCReport:
         """Evict entries until the store fits the given bounds.
 
         ``max_age`` (seconds) first removes every entry idle longer than
@@ -224,6 +240,13 @@ class ResultCache:
         GC pass started are never evicted, so a concurrent engine run's
         in-flight results survive even under a tight byte budget — the
         bound is therefore best-effort while writers are active.
+
+        ``protect_since`` widens that protection window backwards: entries
+        written or used at/after the given wall-clock time are never
+        evicted either.  The engine's post-run auto-GC passes its own start
+        time here, so a byte budget smaller than one run's output can never
+        cannibalise the results that run just produced (or the warm entries
+        it just read — a hit bumps the mtime).
         """
         max_bytes = self.max_bytes if max_bytes is None else max_bytes
         max_age = self.max_age if max_age is None else max_age
@@ -239,7 +262,13 @@ class ResultCache:
         total_bytes = sum(size for _, size, _ in entries)
 
         evictable = sorted(
-            (entry for entry in entries if entry[0] <= started), key=lambda entry: entry[0]
+            (
+                entry
+                for entry in entries
+                if entry[0] <= started
+                and (protect_since is None or entry[0] < protect_since)
+            ),
+            key=lambda entry: entry[0],
         )
         doomed: list[tuple[float, int, Path]] = []
         if max_age is not None:

@@ -81,6 +81,13 @@ class ExecutionEngine:
         JSON files.  Reads always accept both, and both decode to the
         same canonical payloads, so results — and the trace digests that
         key them — are bit-identical whichever format a cache holds.
+    cache_max_bytes / cache_max_age:
+        Garbage-collection bounds for the persistent cache.  When either
+        is set, a bounded :meth:`ResultCache.gc` pass runs automatically
+        after every :meth:`run`/:meth:`run_sweep`; entries produced or
+        touched by the finishing run are never evicted by that pass (see
+        ``protect_since``), so a budget smaller than one run's output
+        degrades to best-effort instead of destroying fresh results.
     """
 
     def __init__(
@@ -90,14 +97,23 @@ class ExecutionEngine:
         use_cache: bool = True,
         progress: ProgressListener | None = None,
         cache_format: str = "binary",
+        cache_max_bytes: int | None = None,
+        cache_max_age: float | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
-        self.cache = ResultCache(cache_dir) if (use_cache and cache_dir is not None) else None
+        self.cache = (
+            ResultCache(cache_dir, max_bytes=cache_max_bytes, max_age=cache_max_age)
+            if (use_cache and cache_dir is not None)
+            else None
+        )
         self.progress = progress if progress is not None else NullProgress()
         self.cache_format = "json" if cache_format == "text" else cache_format
         if self.cache_format not in ("json", "binary"):
             raise ValueError(f"unknown cache format {cache_format!r}")
         self.stats = EngineStats()
+        #: Report of the most recent post-run auto-GC pass (``None`` when
+        #: no bounds are configured or no run has finished yet).
+        self.last_gc = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -119,6 +135,7 @@ class ExecutionEngine:
         from repro.simulation.campaign import CampaignResult
 
         started = time.perf_counter()
+        run_started_wall = time.time()
         predictors = tuple(predictors)
         benchmarks = tuple(benchmarks)
         stats = EngineStats(benchmarks=len(benchmarks), predictors=len(predictors))
@@ -129,6 +146,7 @@ class ExecutionEngine:
 
         stats.total_seconds = time.perf_counter() - started
         self.progress.campaign_finished(stats)
+        self._auto_gc(run_started_wall)
         return CampaignResult(
             scale=scale,
             predictor_names=predictors,
@@ -137,13 +155,30 @@ class ExecutionEngine:
             simulations=simulations,
         )
 
+    def run_sweep(self, spec):
+        """Run one parameter sweep; returns a ``SweepResult``.
+
+        The sweep layer (:mod:`repro.engine.sweeps`) expands the spec into
+        the same trace/simulate task graph campaigns use, deduplicating
+        trace work shared between sweep points, so sweeps and campaigns
+        share cache entries.  Imported lazily: sweeps builds on this class.
+        """
+        from repro.engine.sweeps import execute_sweep
+
+        run_started_wall = time.time()
+        result = execute_sweep(self, spec)
+        self._auto_gc(run_started_wall)
+        return result
+
     # ------------------------------------------------------------------ #
     # Phases
     # ------------------------------------------------------------------ #
     def _trace_phase(
         self, scale: float, benchmarks: tuple[str, ...], stats: EngineStats
     ) -> tuple[dict, dict[str, str], dict]:
-        tasks = {name: TraceTask(benchmark=name, scale=scale) for name in benchmarks}
+        tasks = {
+            name: TraceTask.for_workload(name, scale=scale) for name in benchmarks
+        }
         traces: dict = {}
         digests: dict[str, str] = {}
         statistics: dict = {}
@@ -251,11 +286,29 @@ class ExecutionEngine:
                     "simulate", f"{benchmark}:{predictor}", cached=True
                 )
         inline = self.jobs == 1 or len(pending) <= 1
+        wire_bytes: dict[str, bytes] = {}
+        if not inline:
+            # Encode each trace for the pool wire once, however many
+            # predictors are pending over it.
+            from repro.trace.io import dumps_trace_binary
+
+            for task in pending:
+                if task.benchmark not in wire_bytes:
+                    wire_bytes[task.benchmark] = dumps_trace_binary(
+                        traces[task.benchmark], compress=True
+                    )
         outcomes = self._run_tasks(
             execute_simulate_task,
             "simulate",
             [f"{task.benchmark}:{task.predictor}" for task in pending],
-            [task.payload(traces[task.benchmark], inline=inline) for task in pending],
+            [
+                task.payload(
+                    traces[task.benchmark],
+                    inline=inline,
+                    trace_bytes=wire_bytes.get(task.benchmark),
+                )
+                for task in pending
+            ],
         )
         for task, outcome in zip(pending, outcomes):
             shards[task.benchmark][task.predictor] = shard_from_dict(outcome["shard"])
@@ -279,6 +332,28 @@ class ExecutionEngine:
                     format=self.cache_format,
                 )
         return {benchmark: simulations[benchmark] for benchmark in benchmarks}
+
+    # ------------------------------------------------------------------ #
+    # Post-run cache maintenance
+    # ------------------------------------------------------------------ #
+    def _auto_gc(self, run_started_wall: float) -> None:
+        """Run a bounded GC pass after a run when bounds are configured.
+
+        Entries written or touched since ``run_started_wall`` — everything
+        the finishing run produced or read — are protected from eviction,
+        so a ``max_bytes`` smaller than one run's output can never evict
+        the run's own results (the bound then holds on the *next* cold
+        start instead).
+        """
+        if self.cache is None:
+            return
+        if self.cache.max_bytes is None and self.cache.max_age is None:
+            return
+        # One second of slack: on filesystems with coarse mtime granularity
+        # an entry written just after the run started can have its mtime
+        # rounded below the recorded start, and protection must err on the
+        # side of keeping fresh results.
+        self.last_gc = self.cache.gc(protect_since=run_started_wall - 1.0)
 
     # ------------------------------------------------------------------ #
     # Dispatch

@@ -1,0 +1,484 @@
+"""Generic parameter sweeps over the execution engine.
+
+A *sweep* evaluates one benchmark across the cross product of three axes —
+input sets, flag settings and predictor configurations — the shape of the
+paper's Section 4.4 sensitivity studies (Table 6: inputs, Table 7: flags,
+Figure 11: FCM order).  :class:`SweepSpec` describes the axes;
+:func:`execute_sweep` expands the spec into the engine's existing
+trace/simulate task graph:
+
+* one :class:`~repro.engine.tasks.TraceTask` per **unique** (input, flags)
+  combination — sweep points that share a trace configuration (every
+  predictor point of an order study, duplicated axis values) are
+  deduplicated before any work is scheduled;
+* one :class:`~repro.engine.tasks.SimulateTask` per unique
+  (trace digest, predictor configuration) pair — two flag settings that
+  happen to produce byte-identical traces share their simulation too,
+  because simulations are keyed by trace *content*;
+* no merge phase: a sweep point is a single-predictor measurement, and a
+  :class:`~repro.simulation.simulator.PredictorShard`'s aggregate result
+  is already bit-identical to that predictor's slot in the lockstep loop.
+
+Tasks run through the owning engine's worker pool (``--jobs``) and
+read/write the same persistent :class:`~repro.engine.cache.ResultCache`
+campaigns use — the cache keys are shared, so a campaign's gcc trace warms
+the sweep's default-input point and vice versa.  A fully warm sweep
+performs zero trace or simulate computation and never even decodes the
+cached traces (record counts come from the stored statistics).
+
+:func:`run_sweep` is the library-level façade mirroring
+:func:`repro.simulation.campaign.run_campaign`: it builds an engine from
+the process-wide defaults (the CLI's ``--jobs``/``--cache-dir``/… flags)
+and memoises results in-process by spec and predictor fingerprints.
+``docs/sweeps.md`` documents spec format, dedup semantics and cache keys.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.engine.codecs import (
+    payload_trace,
+    payload_trace_digest,
+    shard_from_dict,
+    statistics_from_dict,
+)
+from repro.engine.fingerprint import predictor_signature, predictors_fingerprint
+from repro.engine.scheduler import EngineStats
+from repro.engine.tasks import SimulateTask, TraceTask
+from repro.engine.worker import execute_simulate_task, execute_trace_task
+from repro.errors import SweepError
+from repro.simulation.simulator import PredictorResult
+from repro.trace.io import dumps_trace_binary
+from repro.trace.stream import TraceStatistics, ValueTrace
+from repro.workloads.suite import get_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.scheduler import ExecutionEngine
+
+
+# --------------------------------------------------------------------------- #
+# Specification
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepSpec:
+    """Axes of one parameter sweep.
+
+    ``inputs`` and ``flags`` may contain ``None`` for "the workload's
+    default"; :meth:`points` resolves (and validates) every name against
+    the workload, so equivalent specs expand to identical sweep points.
+    The expansion order is inputs-major, predictors-minor, matching the
+    row order of the paper's tables.
+    """
+
+    benchmark: str = "gcc"
+    scale: float = 1.0
+    inputs: tuple[str | None, ...] = (None,)
+    flags: tuple[str | None, ...] = (None,)
+    predictors: tuple[str, ...] = ("fcm2",)
+
+    # ------------------------------------------------------------------ #
+    # The paper's three studies
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def input_study(
+        cls,
+        benchmark: str = "gcc",
+        predictor: str = "fcm2",
+        scale: float = 1.0,
+        inputs: tuple[str, ...] | None = None,
+    ) -> "SweepSpec":
+        """Table 6: one predictor across the benchmark's input files."""
+        names = inputs if inputs is not None else get_workload(benchmark).input_sets
+        return cls(
+            benchmark=benchmark, scale=scale, inputs=tuple(names), predictors=(predictor,)
+        )
+
+    @classmethod
+    def flag_study(
+        cls,
+        benchmark: str = "gcc",
+        predictor: str = "fcm2",
+        scale: float = 1.0,
+        input_name: str | None = None,
+        flags: tuple[str, ...] | None = None,
+    ) -> "SweepSpec":
+        """Table 7: one predictor across the benchmark's flag settings."""
+        names = flags if flags is not None else get_workload(benchmark).flag_sets
+        return cls(
+            benchmark=benchmark,
+            scale=scale,
+            inputs=(input_name,),
+            flags=tuple(names),
+            predictors=(predictor,),
+        )
+
+    @classmethod
+    def order_study(
+        cls,
+        benchmark: str = "gcc",
+        orders: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
+        scale: float = 1.0,
+        input_name: str | None = None,
+    ) -> "SweepSpec":
+        """Figure 11: blended fcm predictors of increasing order, one trace."""
+        return cls(
+            benchmark=benchmark,
+            scale=scale,
+            inputs=(input_name,),
+            predictors=tuple(f"fcm{order}" for order in orders),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    def points(self) -> tuple["SweepPoint", ...]:
+        """Expand the axes into resolved sweep points (cross product)."""
+        if not self.predictors:
+            raise SweepError(f"sweep over {self.benchmark!r} names no predictors")
+        if not self.inputs or not self.flags:
+            raise SweepError(f"sweep over {self.benchmark!r} has an empty axis")
+        workload = get_workload(self.benchmark)
+        expanded = []
+        for input_name in self.inputs:
+            resolved_input = workload.validate_input(input_name)
+            for flags in self.flags:
+                resolved_flags = workload.validate_flags(flags)
+                for predictor in self.predictors:
+                    expanded.append(
+                        SweepPoint(
+                            benchmark=self.benchmark,
+                            scale=self.scale,
+                            input_name=resolved_input,
+                            flags=resolved_flags,
+                            predictor=predictor,
+                        )
+                    )
+        return tuple(expanded)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved (benchmark, scale, input, flags, predictor) cell."""
+
+    benchmark: str
+    scale: float
+    input_name: str
+    flags: str
+    predictor: str
+
+    @property
+    def trace_config(self) -> tuple[str, str]:
+        """The trace-determining coordinates (input, flags) of this point."""
+        return (self.input_name, self.flags)
+
+    def label(self) -> str:
+        return f"{self.benchmark}:{self.input_name}:{self.flags}:{self.predictor}"
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+@dataclass
+class SweepPointResult:
+    """Measurement of one sweep point.
+
+    ``result`` is the predictor's aggregate accounting, bit-identical to
+    ``simulate_trace(trace, (predictor,)).results[predictor]`` on the same
+    trace configuration (predictor tables are private, so the shard path
+    reproduces the lockstep outcomes exactly).
+    """
+
+    point: SweepPoint
+    record_count: int
+    statistics: TraceStatistics
+    result: PredictorResult
+
+    @property
+    def accuracy(self) -> float:
+        return self.result.accuracy
+
+
+@dataclass
+class SweepResult:
+    """Everything produced by one sweep run."""
+
+    spec: SweepSpec
+    points: tuple[SweepPointResult, ...]
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def by_predictor(self, predictor: str) -> list[SweepPointResult]:
+        """The sweep points measuring ``predictor``, in expansion order."""
+        return [entry for entry in self.points if entry.point.predictor == predictor]
+
+
+# --------------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------------- #
+class _LazyTrace:
+    """Materialise a trace-task payload's trace at most once, on demand.
+
+    A fully warm sweep never touches the (expensive) embedded trace —
+    digests and record counts come from the payload's JSON fields — so
+    decoding is deferred until a pending simulation actually needs the
+    records.  A corrupt embedded trace falls back through ``repair``
+    (re-trace, fix the run's stats, overwrite the bad cache entry),
+    mirroring the campaign scheduler's treat-corruption-as-miss policy.
+    """
+
+    def __init__(self, payload: dict, repair) -> None:
+        self._payload = payload
+        self._repair = repair
+        self._trace: ValueTrace | None = None
+
+    def get(self) -> ValueTrace:
+        if self._trace is None:
+            try:
+                self._trace = payload_trace(self._payload)
+            except Exception:
+                self._payload = self._repair()
+                self._trace = payload_trace(self._payload)
+        return self._trace
+
+
+def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
+    """Expand ``spec`` into trace/simulate tasks and run them on ``engine``.
+
+    Results are bit-identical for every ``jobs`` value and cache
+    temperature; prefer :meth:`ExecutionEngine.run_sweep` (which adds the
+    post-run bounded GC pass) or the :func:`run_sweep` façade.
+    """
+    started = time.perf_counter()
+    points = spec.points()
+    signatures = {name: predictor_signature(name) for name in spec.predictors}
+
+    # Unique trace configurations, in first-appearance order.
+    trace_tasks: dict[tuple[str, str], TraceTask] = {}
+    for point in points:
+        if point.trace_config not in trace_tasks:
+            trace_tasks[point.trace_config] = TraceTask(
+                benchmark=point.benchmark,
+                scale=point.scale,
+                input_name=point.input_name,
+                flags=point.flags,
+            )
+    stats = EngineStats(benchmarks=len(trace_tasks), predictors=len(spec.predictors))
+    engine.stats = stats
+
+    # ------------------------------------------------------------------ #
+    # Trace phase (deduplicated across sweep points)
+    # ------------------------------------------------------------------ #
+    payloads: dict[tuple[str, str], dict] = {}
+    pending_traces: list[tuple[str, str]] = []
+    for config, task in trace_tasks.items():
+        cached = engine.cache.get("trace", task.cache_key()) if engine.cache else None
+        if cached is not None and _trace_payload_usable(cached):
+            payloads[config] = cached
+            stats.traces_cached += 1
+        else:
+            pending_traces.append(config)
+
+    engine.progress.phase_started("trace", len(trace_tasks), stats.traces_cached)
+    for config in payloads:
+        engine.progress.task_finished("trace", _trace_label(spec, config), cached=True)
+    outcomes = engine._run_tasks(
+        execute_trace_task,
+        "trace",
+        [_trace_label(spec, config) for config in pending_traces],
+        [trace_tasks[config].payload() for config in pending_traces],
+    )
+    for config, outcome in zip(pending_traces, outcomes):
+        payloads[config] = outcome
+        stats.traces_computed += 1
+        if engine.cache:
+            engine.cache.put(
+                "trace", trace_tasks[config].cache_key(), outcome, format=engine.cache_format
+            )
+
+    digests = {config: payload_trace_digest(payloads[config]) for config in trace_tasks}
+    statistics = {
+        config: statistics_from_dict(payloads[config]["statistics"])
+        for config in trace_tasks
+    }
+
+    def make_repair(config: tuple[str, str]):
+        # A stamped entry can pass the cheap probe (digest + statistics
+        # readable) while its trace body is corrupt.  When the decode
+        # fails, re-trace, account the work honestly (this config was
+        # *not* served from cache after all) and overwrite the bad entry
+        # so the repair sticks for the next run.
+        def repair() -> dict:
+            outcome = execute_trace_task(trace_tasks[config].payload())
+            stats.traces_computed += 1
+            stats.traces_cached -= 1
+            if engine.cache:
+                engine.cache.put(
+                    "trace",
+                    trace_tasks[config].cache_key(),
+                    outcome,
+                    format=engine.cache_format,
+                )
+            return outcome
+
+        return repair
+
+    traces = {
+        config: _LazyTrace(payloads[config], make_repair(config))
+        for config in trace_tasks
+    }
+
+    # ------------------------------------------------------------------ #
+    # Simulate phase (deduplicated by trace content and configuration)
+    # ------------------------------------------------------------------ #
+    units: dict[tuple[str, str], tuple[SimulateTask, tuple[str, str]]] = {}
+    for point in points:
+        unit = (digests[point.trace_config], point.predictor)
+        if unit not in units:
+            units[unit] = (
+                SimulateTask(
+                    benchmark=point.benchmark,
+                    predictor=point.predictor,
+                    trace_digest=digests[point.trace_config],
+                    predictor_signature=signatures[point.predictor],
+                ),
+                point.trace_config,
+            )
+
+    shards: dict[tuple[str, str], object] = {}
+    pending_units: list[tuple[str, str]] = []
+    for unit, (task, _) in units.items():
+        cached = engine.cache.get("simulate", task.cache_key()) if engine.cache else None
+        if cached is not None:
+            shards[unit] = shard_from_dict(cached["shard"])
+            stats.simulations_cached += 1
+        else:
+            pending_units.append(unit)
+
+    engine.progress.phase_started("simulate", len(units), stats.simulations_cached)
+    for unit in shards:
+        engine.progress.task_finished("simulate", _unit_label(spec, units, unit), cached=True)
+    inline = engine.jobs == 1 or len(pending_units) <= 1
+    wire_bytes: dict[tuple[str, str], bytes] = {}
+
+    def simulate_payload(unit: tuple[str, str]) -> dict:
+        task, config = units[unit]
+        if inline:
+            return task.payload(traces[config].get(), inline=True)
+        # Encode each trace for the pool wire once, however many
+        # predictors are pending over it (an order study has one trace
+        # under its whole predictor axis).
+        if config not in wire_bytes:
+            wire_bytes[config] = dumps_trace_binary(traces[config].get(), compress=True)
+        return task.payload(None, inline=False, trace_bytes=wire_bytes[config])
+
+    outcomes = engine._run_tasks(
+        execute_simulate_task,
+        "simulate",
+        [_unit_label(spec, units, unit) for unit in pending_units],
+        [simulate_payload(unit) for unit in pending_units],
+    )
+    for unit, outcome in zip(pending_units, outcomes):
+        shards[unit] = shard_from_dict(outcome["shard"])
+        stats.simulations_computed += 1
+        if engine.cache:
+            engine.cache.put(
+                "simulate", units[unit][0].cache_key(), outcome, format=engine.cache_format
+            )
+
+    # ------------------------------------------------------------------ #
+    # Assembly — one result per sweep point, shared units fanned back out
+    # ------------------------------------------------------------------ #
+    results = []
+    for point in points:
+        config = point.trace_config
+        shard = shards[(digests[config], point.predictor)]
+        point_statistics = statistics[config]
+        results.append(
+            SweepPointResult(
+                point=point,
+                record_count=point_statistics.predicted_instructions,
+                statistics=point_statistics,
+                result=shard.result,
+            )
+        )
+    stats.total_seconds = time.perf_counter() - started
+    engine.progress.campaign_finished(stats)
+    return SweepResult(spec=spec, points=tuple(results), stats=stats)
+
+
+def _trace_payload_usable(payload: dict) -> bool:
+    """Cheap validity probe for a cached trace payload.
+
+    Confirms the digest and statistics are reachable without decoding the
+    embedded trace (the whole point of the warm path).  Entries predating
+    stamped digests fall back to a full text render, which also surfaces
+    trace corruption; for stamped entries a corrupt trace body is caught
+    later by :class:`_LazyTrace`'s re-trace fallback.
+    """
+    try:
+        payload_trace_digest(payload)
+        statistics_from_dict(payload["statistics"])
+    except Exception:
+        return False
+    return True
+
+
+def _trace_label(spec: SweepSpec, config: tuple[str, str]) -> str:
+    input_name, flags = config
+    return f"{spec.benchmark}:{input_name}:{flags}"
+
+
+def _unit_label(spec: SweepSpec, units: dict, unit: tuple[str, str]) -> str:
+    _, config = units[unit]
+    return f"{_trace_label(spec, config)}:{unit[1]}"
+
+
+# --------------------------------------------------------------------------- #
+# Library façade (mirrors repro.simulation.campaign.run_campaign)
+# --------------------------------------------------------------------------- #
+_SWEEP_MEMO: dict[tuple, SweepResult] = {}
+
+
+def run_sweep(
+    spec: SweepSpec,
+    use_cache: bool = True,
+    jobs: int | None = None,
+    cache_dir=None,
+    progress=None,
+    cache_format: str | None = None,
+) -> SweepResult:
+    """Run one sweep on an engine built from the process-wide defaults.
+
+    ``use_cache`` governs both the in-process memo and the on-disk cache;
+    unset parameters fall back to the engine defaults configured through
+    :func:`repro.simulation.campaign.set_campaign_defaults` (which the CLI
+    wires to ``--jobs``/``--cache-dir``/``--cache-format``/``--no-cache``).
+    The memo keys on the spec *and* the predictors' configuration
+    fingerprints, so re-binding a predictor name cannot serve stale
+    results — the same policy the campaign memo follows.
+    """
+    from repro.simulation import campaign
+
+    use_cache = use_cache and campaign.engine_defaults().use_cache
+    key = (spec, predictors_fingerprint(spec.predictors))
+    if use_cache and key in _SWEEP_MEMO:
+        return _SWEEP_MEMO[key]
+    engine = campaign.build_engine(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+        cache_format=cache_format,
+    )
+    result = engine.run_sweep(spec)
+    campaign.record_engine_stats(engine.stats)
+    if use_cache:
+        _SWEEP_MEMO[key] = result
+    return result
+
+
+def clear_sweep_cache() -> None:
+    """Drop all in-process memoised sweep results (used by tests)."""
+    _SWEEP_MEMO.clear()

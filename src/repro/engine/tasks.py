@@ -1,11 +1,13 @@
-"""Work-unit definitions for the campaign task graph.
+"""Work-unit definitions for the campaign and sweep task graphs.
 
 A campaign decomposes into :class:`TraceTask` units (one per benchmark) and
 :class:`SimulateTask` units (one per (benchmark, predictor) pair); the
 merge of simulate shards back into joint results is cheap and always runs
-in the parent.  Each task knows its cache key — the full set of inputs its
-output depends on — and how to render itself into a picklable payload for
-the worker protocol (:mod:`repro.engine.worker`).
+in the parent.  A parameter sweep (:mod:`repro.engine.sweeps`) reuses the
+same two task kinds, with trace tasks additionally spanning the workload's
+*input* and *flags* axes.  Each task knows its cache key — the full set of
+inputs its output depends on — and how to render itself into a picklable
+payload for the worker protocol (:mod:`repro.engine.worker`).
 """
 
 from __future__ import annotations
@@ -16,7 +18,10 @@ from repro.trace.stream import ValueTrace
 
 #: Bump when the meaning of a task's output changes incompatibly, so stale
 #: cache entries from older code are bypassed instead of misread.
-TASK_FORMAT_VERSION = 1
+#: Version 2: trace keys carry the resolved input/flags setting, so the
+#: campaign's default-configuration traces and a sweep's explicit traces
+#: address the same entries.
+TASK_FORMAT_VERSION = 2
 
 
 def _canonical_scale(scale: float) -> str:
@@ -26,10 +31,38 @@ def _canonical_scale(scale: float) -> str:
 
 @dataclass(frozen=True)
 class TraceTask:
-    """Trace one benchmark at one scale (default input and flags)."""
+    """Trace one benchmark at one scale, input set and flags setting.
+
+    ``input_name``/``flags`` are stored *resolved* (never ``None``), so two
+    tasks describing the same work — e.g. a campaign's implicit default and
+    a sweep naming the default explicitly — produce identical cache keys.
+    Build instances through :meth:`for_workload`, which resolves defaults
+    against the workload's declared sets.
+    """
 
     benchmark: str
     scale: float
+    input_name: str
+    flags: str
+
+    @classmethod
+    def for_workload(
+        cls,
+        benchmark: str,
+        scale: float,
+        input_name: str | None = None,
+        flags: str | None = None,
+    ) -> "TraceTask":
+        """Build a task with input/flags resolved (and validated) by the workload."""
+        from repro.workloads.suite import get_workload
+
+        workload = get_workload(benchmark)
+        return cls(
+            benchmark=benchmark,
+            scale=scale,
+            input_name=workload.validate_input(input_name),
+            flags=workload.validate_flags(flags),
+        )
 
     def cache_key(self) -> dict:
         return {
@@ -37,10 +70,17 @@ class TraceTask:
             "format": TASK_FORMAT_VERSION,
             "workload": self.benchmark,
             "scale": _canonical_scale(self.scale),
+            "input": self.input_name,
+            "flags": self.flags,
         }
 
     def payload(self) -> dict:
-        return {"benchmark": self.benchmark, "scale": self.scale}
+        return {
+            "benchmark": self.benchmark,
+            "scale": self.scale,
+            "input": self.input_name,
+            "flags": self.flags,
+        }
 
 
 @dataclass(frozen=True)
@@ -61,18 +101,27 @@ class SimulateTask:
             "signature": self.predictor_signature,
         }
 
-    def payload(self, trace: ValueTrace, inline: bool) -> dict:
+    def payload(
+        self,
+        trace: ValueTrace | None,
+        inline: bool,
+        trace_bytes: bytes | None = None,
+    ) -> dict:
         """Build the worker payload.
 
         ``inline`` payloads carry the trace object itself (no serialisation
         cost; used when executing in-process), otherwise the trace travels
-        as its canonical text form so the payload stays picklable and
-        wire-friendly.  The expected predictor signature rides along so a
-        worker whose registry disagrees (e.g. a ``spawn``-start process
+        as v3 binary bytes — the same compact framing the cache stores —
+        so the payload stays picklable and roughly an order of magnitude
+        smaller on the pool wire than the canonical text form.  Schedulers
+        dispatching several tasks over one trace pass the pre-encoded
+        ``trace_bytes`` so the encode+compress pass runs once per trace,
+        not once per task.  The expected predictor signature rides along so
+        a worker whose registry disagrees (e.g. a ``spawn``-start process
         that re-imported a registry without a dynamic re-binding) fails
         loudly instead of simulating the wrong configuration.
         """
-        from repro.trace.io import dumps_trace
+        from repro.trace.io import dumps_trace_binary
 
         payload: dict = {
             "predictor": self.predictor,
@@ -80,6 +129,11 @@ class SimulateTask:
         }
         if inline:
             payload["trace"] = trace
+        elif trace_bytes is not None:
+            payload["trace_bytes"] = trace_bytes
         else:
-            payload["trace_text"] = dumps_trace(trace)
+            # Compressed framing: unlike the cache envelope (whose outer
+            # zlib pass covers the whole body) nothing else compresses the
+            # pool wire, so the task opts in here.
+            payload["trace_bytes"] = dumps_trace_binary(trace, compress=True)
         return payload

@@ -15,19 +15,25 @@ from repro.core.registry import create_predictor
 from repro.engine.codecs import shard_to_dict, statistics_to_dict
 from repro.errors import SimulationError
 from repro.simulation.simulator import simulate_shard
-from repro.trace.io import dumps_trace, loads_trace
+from repro.trace.io import dumps_trace, loads_trace, loads_trace_binary
 from repro.workloads.suite import get_workload
 
 
 def execute_trace_task(payload: dict) -> dict:
     """Run one benchmark into a trace; returns its text form plus statistics.
 
+    ``input``/``flags`` select the workload configuration (absent means the
+    workload's default, as resolved by :meth:`TraceTask.for_workload`).
     The digest of the canonical text form rides along so cache readers —
     the binary ones in particular — never have to re-render the text just
     to key the simulate phase.
     """
     workload = get_workload(payload["benchmark"])
-    trace = workload.trace(scale=payload["scale"])
+    trace = workload.trace(
+        scale=payload["scale"],
+        input_name=payload.get("input"),
+        flags=payload.get("flags"),
+    )
     text = dumps_trace(trace)
     return {
         "trace_text": text,
@@ -37,10 +43,20 @@ def execute_trace_task(payload: dict) -> dict:
 
 
 def execute_simulate_task(payload: dict) -> dict:
-    """Simulate one predictor over one trace; returns the encoded shard."""
+    """Simulate one predictor over one trace; returns the encoded shard.
+
+    The trace arrives either inline (``trace``, in-process dispatch), as
+    v3 binary bytes (``trace_bytes``, the pool wire format) or — for
+    compatibility with payloads built by older code — as canonical text
+    (``trace_text``).  All three decode to the same records.
+    """
     trace = payload.get("trace")
     if trace is None:
-        trace = loads_trace(payload["trace_text"])
+        trace_bytes = payload.get("trace_bytes")
+        if trace_bytes is not None:
+            trace = loads_trace_binary(trace_bytes)
+        else:
+            trace = loads_trace(payload["trace_text"])
     name = payload["predictor"]
     expected_signature = payload.get("signature")
     if expected_signature is not None:

@@ -67,5 +67,9 @@ class SimulationError(ReproError):
     """Raised when a prediction simulation is configured incorrectly."""
 
 
+class SweepError(ReproError):
+    """Raised when a parameter-sweep specification is invalid."""
+
+
 class ReportingError(ReproError):
     """Raised when experiment/report generation fails."""

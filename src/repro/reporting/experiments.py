@@ -7,7 +7,9 @@ and a rendered plain-text form.
 
 The suite-wide artefacts (Tables 2/4/5, Figures 3-10) share one cached
 campaign per ``scale``, so regenerating all of them costs a single suite
-simulation.  Campaigns execute on :class:`repro.engine.ExecutionEngine`:
+simulation; the sensitivity artefacts (Tables 6-7, Figure 11) run as
+parameter sweeps on the same engine (:mod:`repro.engine.sweeps`).  Both
+paths execute on :class:`repro.engine.ExecutionEngine`:
 ``repro.simulation.campaign.set_campaign_defaults`` (which the CLI wires to
 ``--jobs``/``--cache-dir``/``--no-cache``) selects worker-pool parallelism
 and a persistent result cache without touching the entry points below.
@@ -341,6 +343,12 @@ def figure10(scale: float | None = None) -> ExperimentArtifact:
 
 # --------------------------------------------------------------------------- #
 # Sensitivity studies (gcc)
+#
+# These render through the engine-backed sweep layer: each entry point is a
+# thin façade over a SweepSpec executed by repro.engine.sweeps, so the
+# studies honour the configured --jobs/--cache-dir defaults, deduplicate
+# shared traces and are zero-compute on a warm cache, while remaining
+# bit-identical to the historical serial loops.
 # --------------------------------------------------------------------------- #
 def table6(scale: float | None = None) -> ExperimentArtifact:
     """Table 6: gcc sensitivity to different input files (order-2 fcm)."""

@@ -60,13 +60,16 @@ class CampaignResult:
 
 @dataclass
 class EngineDefaults:
-    """Process-wide engine settings used when ``run_campaign`` callers
-    (e.g. the experiment modules) do not pass their own."""
+    """Process-wide engine settings used when ``run_campaign`` and
+    ``run_sweep`` callers (e.g. the experiment modules) do not pass their
+    own."""
 
     jobs: int = 1
     cache_dir: str | Path | None = None
     use_cache: bool = True
     cache_format: str = "binary"
+    cache_max_bytes: int | None = None
+    cache_max_age: float | None = None
 
 
 _CACHE: dict[tuple, CampaignResult] = {}
@@ -84,13 +87,15 @@ def set_campaign_defaults(
     cache_dir: str | Path | None = None,
     use_cache: bool | None = None,
     cache_format: str | None = None,
+    cache_max_bytes: int | None = None,
+    cache_max_age: float | None = None,
 ) -> None:
-    """Configure the engine used by default for subsequent campaigns.
+    """Configure the engine used by default for subsequent campaigns/sweeps.
 
     The CLI routes ``--jobs``/``--cache-dir``/``--no-cache``/
-    ``--cache-format`` through here so that the experiment entry points —
-    whose signatures only carry ``scale`` — still execute on the
-    configured engine.
+    ``--cache-format``/``--cache-max-bytes``/``--cache-max-age`` through
+    here so that the experiment entry points — whose signatures only carry
+    ``scale`` — still execute on the configured engine.
     """
     if jobs is not None:
         _ENGINE_DEFAULTS.jobs = max(1, int(jobs))
@@ -100,6 +105,10 @@ def set_campaign_defaults(
         _ENGINE_DEFAULTS.use_cache = use_cache
     if cache_format is not None:
         _ENGINE_DEFAULTS.cache_format = cache_format
+    if cache_max_bytes is not None:
+        _ENGINE_DEFAULTS.cache_max_bytes = cache_max_bytes
+    if cache_max_age is not None:
+        _ENGINE_DEFAULTS.cache_max_age = cache_max_age
 
 
 def reset_campaign_defaults() -> None:
@@ -108,11 +117,50 @@ def reset_campaign_defaults() -> None:
     _ENGINE_DEFAULTS.cache_dir = None
     _ENGINE_DEFAULTS.use_cache = True
     _ENGINE_DEFAULTS.cache_format = "binary"
+    _ENGINE_DEFAULTS.cache_max_bytes = None
+    _ENGINE_DEFAULTS.cache_max_age = None
+
+
+def engine_defaults() -> EngineDefaults:
+    """The live process-wide engine defaults (shared with the sweep layer)."""
+    return _ENGINE_DEFAULTS
+
+
+def build_engine(
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    progress: ProgressListener | None = None,
+    cache_format: str | None = None,
+):
+    """Construct an :class:`ExecutionEngine` from the process-wide defaults.
+
+    Used by :func:`run_campaign` and :func:`repro.engine.sweeps.run_sweep`
+    so both entry points resolve unset parameters — including the
+    post-run GC bounds — identically.
+    """
+    from repro.engine.scheduler import ExecutionEngine
+
+    return ExecutionEngine(
+        jobs=_ENGINE_DEFAULTS.jobs if jobs is None else jobs,
+        cache_dir=_ENGINE_DEFAULTS.cache_dir if cache_dir is None else cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+        cache_format=_ENGINE_DEFAULTS.cache_format if cache_format is None else cache_format,
+        cache_max_bytes=_ENGINE_DEFAULTS.cache_max_bytes,
+        cache_max_age=_ENGINE_DEFAULTS.cache_max_age,
+    )
 
 
 def last_engine_stats() -> EngineStats | None:
     """Stats of the most recent engine run (``None`` before any run)."""
     return _LAST_STATS
+
+
+def record_engine_stats(stats: EngineStats) -> None:
+    """Publish an engine run's stats as the most recent (sweeps use this)."""
+    global _LAST_STATS
+    _LAST_STATS = stats
 
 
 def run_campaign(
@@ -132,7 +180,6 @@ def run_campaign(
     (see :func:`set_campaign_defaults`).
     """
     from repro.engine.fingerprint import predictors_fingerprint
-    from repro.engine.scheduler import ExecutionEngine
 
     global _LAST_STATS
     use_cache = use_cache and _ENGINE_DEFAULTS.use_cache
@@ -144,12 +191,12 @@ def run_campaign(
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
-    engine = ExecutionEngine(
-        jobs=_ENGINE_DEFAULTS.jobs if jobs is None else jobs,
-        cache_dir=_ENGINE_DEFAULTS.cache_dir if cache_dir is None else cache_dir,
+    engine = build_engine(
+        jobs=jobs,
+        cache_dir=cache_dir,
         use_cache=use_cache,
         progress=progress,
-        cache_format=_ENGINE_DEFAULTS.cache_format if cache_format is None else cache_format,
+        cache_format=cache_format,
     )
     result = engine.run(scale=scale, predictors=tuple(predictors), benchmarks=tuple(benchmarks))
     _LAST_STATS = engine.stats

@@ -5,14 +5,22 @@ accuracy responds to (a) different input files, (b) different compilation
 flags and (c) the predictor order.  These helpers run the corresponding
 sweeps on the synthetic workloads; they work for any benchmark, defaulting
 to gcc as the paper does.
+
+Since the sweep refactor these functions are thin façades over
+:mod:`repro.engine.sweeps`: each builds the matching :class:`SweepSpec`
+and executes it through the campaign execution engine, so the studies get
+``--jobs`` parallelism, shared-trace deduplication and the persistent
+result cache for free.  The numbers are bit-identical to the historical
+serial loops (one fresh predictor per setting, ``simulate_trace`` per
+point); the regression tests in ``tests/engine/test_sweeps.py`` pin that
+equivalence down for all three axes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.simulation.simulator import simulate_trace
-from repro.workloads.suite import get_workload
+from repro.engine.sweeps import SweepSpec, run_sweep
 
 
 @dataclass(frozen=True)
@@ -31,20 +39,18 @@ def input_sensitivity(
     inputs: tuple[str, ...] | None = None,
 ) -> list[SensitivityPoint]:
     """Accuracy of one predictor across the benchmark's input files (Table 6)."""
-    workload = get_workload(benchmark)
-    names = inputs if inputs is not None else workload.input_sets
-    points: list[SensitivityPoint] = []
-    for input_name in names:
-        trace = workload.trace(scale=scale, input_name=input_name)
-        result = simulate_trace(trace, (predictor,))
-        points.append(
-            SensitivityPoint(
-                setting=input_name,
-                predictions=len(trace),
-                accuracy=result.results[predictor].accuracy,
-            )
+    spec = SweepSpec.input_study(
+        benchmark=benchmark, predictor=predictor, scale=scale, inputs=inputs
+    )
+    sweep = run_sweep(spec)
+    return [
+        SensitivityPoint(
+            setting=entry.point.input_name,
+            predictions=entry.record_count,
+            accuracy=entry.accuracy,
         )
-    return points
+        for entry in sweep.points
+    ]
 
 
 def flag_sensitivity(
@@ -55,20 +61,22 @@ def flag_sensitivity(
     flags: tuple[str, ...] | None = None,
 ) -> list[SensitivityPoint]:
     """Accuracy of one predictor across flag settings (Table 7)."""
-    workload = get_workload(benchmark)
-    names = flags if flags is not None else workload.flag_sets
-    points: list[SensitivityPoint] = []
-    for flag_setting in names:
-        trace = workload.trace(scale=scale, input_name=input_name, flags=flag_setting)
-        result = simulate_trace(trace, (predictor,))
-        points.append(
-            SensitivityPoint(
-                setting=flag_setting,
-                predictions=len(trace),
-                accuracy=result.results[predictor].accuracy,
-            )
+    spec = SweepSpec.flag_study(
+        benchmark=benchmark,
+        predictor=predictor,
+        scale=scale,
+        input_name=input_name,
+        flags=flags,
+    )
+    sweep = run_sweep(spec)
+    return [
+        SensitivityPoint(
+            setting=entry.point.flags,
+            predictions=entry.record_count,
+            accuracy=entry.accuracy,
         )
-    return points
+        for entry in sweep.points
+    ]
 
 
 def order_sensitivity(
@@ -81,13 +89,13 @@ def order_sensitivity(
 
     The trace is collected once and re-simulated with a fresh predictor per
     order, exactly as the paper's experiment holds the input fixed and varies
-    only the order.
+    only the order — the sweep layer's trace deduplication makes that sharing
+    structural rather than incidental.
     """
-    workload = get_workload(benchmark)
-    trace = workload.trace(scale=scale, input_name=input_name)
-    accuracies: dict[int, float] = {}
-    for order in orders:
-        name = f"fcm{order}"
-        result = simulate_trace(trace, (name,))
-        accuracies[order] = result.results[name].accuracy
-    return accuracies
+    spec = SweepSpec.order_study(
+        benchmark=benchmark, orders=orders, scale=scale, input_name=input_name
+    )
+    sweep = run_sweep(spec)
+    return {
+        order: entry.accuracy for order, entry in zip(orders, sweep.points)
+    }

@@ -9,6 +9,8 @@ import pytest
 
 from repro.engine import ExecutionEngine
 from repro.engine.cache import ResultCache
+from repro.engine.sweeps import SweepSpec
+from repro.engine.tasks import TraceTask
 from repro.engine.codecs import (
     decode_cache_entry,
     encode_cache_entry,
@@ -223,6 +225,76 @@ class TestGarbageCollection:
         assert report.remaining_entries == 0
 
 
+class TestAutoGC:
+    """Bounded GC runs automatically after engine runs — but must never
+    evict what the finishing run just produced or read."""
+
+    def test_no_auto_gc_without_bounds(self, tmp_path):
+        engine = ExecutionEngine(jobs=1, cache_dir=tmp_path / "cache")
+        engine.run(scale=SCALE, predictors=("l",), benchmarks=("compress",))
+        assert engine.last_gc is None
+        assert engine.cache.entry_count() > 0
+
+    def test_current_run_survives_budget_smaller_than_its_output(self, tmp_path):
+        # Regression: with --max-bytes smaller than one run's output, the
+        # post-run GC pass used to be able to evict the run's own entries
+        # (they all have mtimes before the pass starts).  Stale entries
+        # from previous runs must go; the current run's must all stay.
+        cache_dir = tmp_path / "cache"
+        stale = ExecutionEngine(jobs=1, cache_dir=cache_dir)
+        stale.run(scale=SCALE, predictors=PREDICTORS, benchmarks=("m88ksim",))
+        stale_paths = list(stale.cache.entry_paths())
+        assert stale_paths
+        for path in stale_paths:
+            _age(path, 5000)
+
+        engine = ExecutionEngine(jobs=1, cache_dir=cache_dir, cache_max_bytes=1)
+        engine.run(scale=SCALE, predictors=PREDICTORS, benchmarks=BENCHMARKS)
+        assert engine.last_gc is not None
+        assert engine.last_gc.removed_entries == len(stale_paths)
+        assert all(not path.exists() for path in stale_paths)
+
+        # Every entry the budget-constrained run produced is still warm.
+        warm = ExecutionEngine(jobs=1, cache_dir=cache_dir)
+        warm.run(scale=SCALE, predictors=PREDICTORS, benchmarks=BENCHMARKS)
+        assert warm.stats.traces_computed == 0
+        assert warm.stats.simulations_computed == 0
+
+    def test_warm_entries_read_by_the_run_are_protected_too(self, tmp_path):
+        # A hit bumps the mtime, so entries the run *reused* count as part
+        # of the run and survive a tight budget as well.
+        cache_dir = tmp_path / "cache"
+        cold = ExecutionEngine(jobs=1, cache_dir=cache_dir)
+        cold.run(scale=SCALE, predictors=PREDICTORS, benchmarks=BENCHMARKS)
+        for path in cold.cache.entry_paths():
+            _age(path, 5000)
+
+        bounded = ExecutionEngine(jobs=1, cache_dir=cache_dir, cache_max_bytes=1)
+        bounded.run(scale=SCALE, predictors=PREDICTORS, benchmarks=BENCHMARKS)
+        assert bounded.stats.simulations_cached == len(PREDICTORS)
+        # A fully-warm run reads the trace and merge entries (bumping
+        # them); the per-predictor shards it never opened are the only
+        # legitimately evictable entries under the tight budget.
+        assert bounded.last_gc.removed_entries == len(PREDICTORS)
+
+        warm = ExecutionEngine(jobs=1, cache_dir=cache_dir)
+        warm.run(scale=SCALE, predictors=PREDICTORS, benchmarks=BENCHMARKS)
+        assert warm.stats.simulations_computed == 0
+        assert warm.stats.traces_computed == 0
+
+    def test_auto_gc_after_sweeps(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        spec = SweepSpec.input_study(benchmark="compress", predictor="l", scale=SCALE)
+        engine = ExecutionEngine(jobs=1, cache_dir=cache_dir, cache_max_bytes=1)
+        engine.run_sweep(spec)
+        assert engine.last_gc is not None
+
+        warm = ExecutionEngine(jobs=1, cache_dir=cache_dir)
+        warm.run_sweep(spec)
+        assert warm.stats.traces_computed == 0
+        assert warm.stats.simulations_computed == 0
+
+
 class TestVerify:
     def test_verify_passes_on_healthy_mixed_cache(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -316,7 +388,7 @@ class TestEngineBinaryCachePath:
         cold = ExecutionEngine(jobs=1, cache_dir=cache_dir, cache_format="binary")
         cold_result = cold.run(scale=SCALE, predictors=PREDICTORS, benchmarks=BENCHMARKS)
         for benchmark in BENCHMARKS:
-            key = {"kind": "trace", "format": 1, "workload": benchmark, "scale": repr(SCALE)}
+            key = TraceTask.for_workload(benchmark, SCALE).cache_key()
             path = cold.cache.path_for("trace", key, format="binary")
             assert path.exists()
             path.write_bytes(encode_cache_entry(key, {"trace_binary": b"\x00garbage"}))

@@ -99,6 +99,71 @@ class TestCli:
             main(["simulate", "not-a-benchmark"])
 
 
+class TestSweepCli:
+    def test_sweep_cold_then_warm(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        arguments = [
+            "sweep",
+            "--benchmark", "gcc",
+            "--inputs", "all",
+            "--scale", "0.05",
+            "--jobs", "2",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(arguments) == 0
+        output = capsys.readouterr().out
+        assert "gcc.i" in output and "stmt.i" in output
+        assert "traces: 5 computed, 0 cached" in output
+        assert "simulations: 5 computed, 0 cached" in output
+        # Second run against the same cache is fully warm.
+        assert main(arguments) == 0
+        output = capsys.readouterr().out
+        assert "traces: 0 computed, 5 cached" in output
+        assert "simulations: 0 computed, 5 cached" in output
+
+    def test_sweep_orders_axis(self, capsys):
+        assert main(["sweep", "--orders", "1", "2", "--scale", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "fcm1" in output and "fcm2" in output
+        # One shared trace for the whole order axis.
+        assert "traces: 1 computed" in output
+
+    def test_sweep_json_output(self, capsys):
+        import json
+
+        assert main(
+            ["sweep", "--benchmark", "compress", "--scale", "0.05", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["benchmark"] == "compress"
+        assert payload["points"][0]["predictor"] == "fcm2"
+        assert payload["points"][0]["predictions"] > 0
+        assert 0.0 <= payload["points"][0]["accuracy"] <= 100.0
+        assert payload["stats"]["simulations_computed"] == 1
+
+    def test_sweep_rejects_unknown_predictor(self, capsys):
+        assert main(["sweep", "--predictors", "nope", "--scale", "0.05"]) == 2
+
+    def test_sweep_rejects_unknown_input(self, capsys):
+        assert main(["sweep", "--inputs", "bogus.i", "--scale", "0.05"]) == 2
+
+    def test_sweep_matches_experiments_table6(self, capsys):
+        # The CLI sweep and the table6 experiment are two views of the
+        # same engine path; their accuracies must agree exactly.
+        from repro.reporting.experiments import table6
+
+        artifact = table6(scale=0.05)
+        assert main(
+            ["sweep", "--benchmark", "gcc", "--inputs", "all", "--scale", "0.05", "--json"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        cli_points = [(p["input"], p["predictions"], p["accuracy"]) for p in payload["points"]]
+        table_points = [(p.setting, p.predictions, p.accuracy) for p in artifact.data]
+        assert cli_points == table_points
+
+
 class TestCacheCli:
     CAMPAIGN = [
         "campaign",
