@@ -74,6 +74,51 @@ def test_bench_engine_warm_cache(benchmark, tmp_path):
 
 
 # --------------------------------------------------------------------------- #
+# Executor backends: per-dispatch pool vs. persistent warm workers
+# --------------------------------------------------------------------------- #
+_BACKEND_BENCHMARKS = ("compress", "m88ksim")
+_BACKEND_PREDICTORS = ("l", "s2")
+
+
+def _run_twice(backend_name: str):
+    """Two back-to-back cacheless campaigns on one backend instance.
+
+    The second run is where the backends differ: the pool pays worker
+    startup (fork + import) again per dispatch, the persistent backend
+    reuses its warm workers.
+    """
+    from repro.engine.backends import resolve_backend
+
+    with resolve_backend(backend_name, jobs=2) as shared:
+        for _ in range(2):
+            engine = ExecutionEngine(jobs=2, backend=shared)
+            engine.run(
+                scale=SCALE,
+                predictors=_BACKEND_PREDICTORS,
+                benchmarks=_BACKEND_BENCHMARKS,
+            )
+    return engine
+
+
+def test_bench_engine_pool_backend_reruns(benchmark):
+    """Reference: repeated campaigns on the per-dispatch pool backend."""
+    engine = run_once(benchmark, _run_twice, "pool")
+    assert engine.stats.simulations_computed == len(_BACKEND_BENCHMARKS) * len(
+        _BACKEND_PREDICTORS
+    )
+    _report(engine)
+
+
+def test_bench_engine_persistent_backend_reruns(benchmark):
+    """Same work on warm persistent workers (startup amortised once)."""
+    engine = run_once(benchmark, _run_twice, "persistent")
+    assert engine.stats.simulations_computed == len(_BACKEND_BENCHMARKS) * len(
+        _BACKEND_PREDICTORS
+    )
+    _report(engine)
+
+
+# --------------------------------------------------------------------------- #
 # Text vs. binary cache format
 # --------------------------------------------------------------------------- #
 def _report_cache_size(engine, label: str) -> None:

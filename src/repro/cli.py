@@ -28,6 +28,7 @@ import sys
 from typing import Sequence
 
 from repro.core.registry import PAPER_PREDICTORS, available_predictors, create_predictor
+from repro.engine.backends import BACKEND_NAMES
 from repro.engine.cache import ResultCache
 from repro.engine.progress import ConsoleProgress
 from repro.errors import UnknownPredictorError, WorkloadError
@@ -112,6 +113,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="gcc",
         choices=BENCHMARK_ORDER,
         help="benchmark to sweep (default: gcc, as in the paper's Section 4.4)",
+    )
+    sweep.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=None,
+        choices=BENCHMARK_ORDER,
+        metavar="NAME",
+        help="benchmark axis (multiple benchmarks; overrides --benchmark); "
+        "shared traces are deduplicated across the axis",
     )
     sweep.add_argument(
         "--predictors",
@@ -235,6 +245,15 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes for tracing/simulation (default 1: in-process)",
     )
     parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="executor backend: 'serial' runs in-process (no pickling), 'pool' "
+        "starts a fresh worker pool per dispatch, 'persistent' keeps warm "
+        "worker processes across phases and runs (default: serial when "
+        "--jobs is 1, pool otherwise); results are identical across backends",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="persistent result cache directory (default: no on-disk cache)",
@@ -298,6 +317,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         cache_format=args.cache_format,
         cache_max_bytes=args.cache_max_bytes,
         cache_max_age=args.cache_max_age,
+        backend=args.backend,
     )
     scale = QUICK_SCALE if args.quick and args.scale is None else args.scale
     for name in names:
@@ -324,10 +344,10 @@ def _command_campaign(args: argparse.Namespace) -> int:
     scale = args.scale
     if scale is None:
         scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
-    engine = _engine_from_arguments(args)
-    result = engine.run(
-        scale=scale, predictors=tuple(args.predictors), benchmarks=tuple(args.benchmarks)
-    )
+    with _engine_from_arguments(args) as engine:
+        result = engine.run(
+            scale=scale, predictors=tuple(args.predictors), benchmarks=tuple(args.benchmarks)
+        )
     rows = []
     for benchmark in result.benchmarks():
         simulation = result.simulations[benchmark]
@@ -356,6 +376,7 @@ def _engine_from_arguments(args: argparse.Namespace) -> ExecutionEngine:
         cache_format=args.cache_format,
         cache_max_bytes=args.cache_max_bytes,
         cache_max_age=args.cache_max_age,
+        backend=args.backend,
     )
 
 
@@ -380,30 +401,29 @@ def _command_sweep(args: argparse.Namespace) -> int:
     except UnknownPredictorError as error:
         print(error, file=sys.stderr)
         return 2
-    workload = get_workload(args.benchmark)
-    inputs = _resolve_axis(args.inputs, workload.input_sets)
-    flags = _resolve_axis(args.flags, workload.flag_sets)
     scale = args.scale
     if scale is None:
         scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
     spec = SweepSpec(
         benchmark=args.benchmark,
         scale=scale,
-        inputs=inputs,
-        flags=flags,
+        inputs=_resolve_axis(args.inputs),
+        flags=_resolve_axis(args.flags),
         predictors=predictors,
+        benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
     )
-    engine = _engine_from_arguments(args)
-    try:
-        result = engine.run_sweep(spec)
-    except WorkloadError as error:
-        print(error, file=sys.stderr)
-        return 2
+    with _engine_from_arguments(args) as engine:
+        try:
+            result = engine.run_sweep(spec)
+        except WorkloadError as error:
+            print(error, file=sys.stderr)
+            return 2
     if args.json:
         print(json.dumps(_sweep_as_json(result), indent=2))
         return 0
     rows = [
         [
+            entry.point.benchmark,
             entry.point.input_name,
             entry.point.flags,
             entry.point.predictor,
@@ -414,11 +434,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
     ]
     print(
         format_table(
-            ["input", "flags", "predictor", "predictions", "accuracy (%)"],
+            ["benchmark", "input", "flags", "predictor", "predictions", "accuracy (%)"],
             rows,
             title=(
-                f"Sweep — {args.benchmark} at scale {scale}, jobs={engine.jobs} "
-                f"({len(result.points)} points)"
+                f"Sweep — {', '.join(spec.benchmark_axis())} at scale {scale}, "
+                f"jobs={engine.jobs} ({len(result.points)} points)"
             ),
         )
     )
@@ -426,14 +446,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_axis(
-    requested: list[str] | None, available: tuple[str, ...]
-) -> tuple[str | None, ...]:
-    """Map a CLI axis argument to spec values (``all`` expands, absent = default)."""
+def _resolve_axis(requested: list[str] | None) -> tuple[str | None, ...]:
+    """Map a CLI axis argument to spec values (absent means the default).
+
+    The literal ``all`` passes through: :meth:`SweepSpec.points` expands it
+    against each benchmark's own declared sets, which is what makes
+    ``--benchmarks a b --inputs all`` mean "every input of each".
+    """
     if requested is None:
         return (None,)
-    if requested == ["all"]:
-        return available
     return tuple(requested)
 
 
@@ -442,6 +463,7 @@ def _sweep_as_json(result) -> dict:
     return {
         "spec": {
             "benchmark": spec.benchmark,
+            "benchmarks": list(spec.benchmark_axis()),
             "scale": spec.scale,
             "inputs": list(spec.inputs),
             "flags": list(spec.flags),

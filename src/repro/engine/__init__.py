@@ -9,8 +9,11 @@ trace") decomposes into independent work units:
 * **merge** — recombine the per-predictor shards of one trace into the
   joint :class:`~repro.simulation.simulator.SimulationResult`.
 
-The :class:`ExecutionEngine` schedules those units across a
-``multiprocessing`` worker pool (``jobs=1`` runs everything in-process) and
+The :class:`ExecutionEngine` schedules those units through the shared
+phase executor (:mod:`repro.engine.phases` — one probe → dispatch → put
+protocol for campaigns and sweeps alike) onto a pluggable
+:class:`ExecutorBackend` (:mod:`repro.engine.backends`: in-process serial,
+per-dispatch ``multiprocessing`` pool, or persistent warm workers), and
 backs both task kinds with a content-addressed on-disk cache keyed by
 (workload, scale, trace digest, predictor configuration), so warm reruns
 skip tracing and simulation entirely — across processes, not just within
@@ -23,6 +26,14 @@ package; ``repro.simulation.campaign.run_campaign`` is a thin façade over
 it.
 """
 
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    PersistentWorkerBackend,
+    PoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.engine.cache import (
     CacheStats,
     GCReport,
@@ -37,6 +48,7 @@ from repro.engine.fingerprint import (
     predictors_fingerprint,
     trace_digest,
 )
+from repro.engine.phases import PhaseSpec, PhaseTask, run_phase
 from repro.engine.progress import ConsoleProgress, NullProgress, ProgressListener
 from repro.engine.scheduler import EngineStats, ExecutionEngine
 from repro.engine.sweeps import (
@@ -51,15 +63,22 @@ from repro.engine.sweeps import (
 from repro.engine.tasks import SimulateTask, TraceTask
 
 __all__ = [
+    "BACKEND_NAMES",
     "CacheStats",
     "ConsoleProgress",
     "EngineStats",
     "ExecutionEngine",
+    "ExecutorBackend",
     "GCReport",
     "KindStats",
     "NullProgress",
+    "PersistentWorkerBackend",
+    "PhaseSpec",
+    "PhaseTask",
+    "PoolBackend",
     "ProgressListener",
     "ResultCache",
+    "SerialBackend",
     "SimulateTask",
     "SweepPoint",
     "SweepPointResult",
@@ -69,6 +88,8 @@ __all__ = [
     "VerifyReport",
     "clear_sweep_cache",
     "execute_sweep",
+    "resolve_backend",
+    "run_phase",
     "run_sweep",
     "decode_cache_entry",
     "encode_cache_entry",

@@ -1,0 +1,226 @@
+"""Pluggable executor backends for the engine's dispatch step.
+
+The phase executor (:mod:`repro.engine.phases`) is backend-agnostic: it
+hands an :class:`ExecutorBackend` a worker function plus a list of
+JSON-compatible payloads and expects the outcomes back **in input order**,
+with a completion callback per unit for live progress.  Three
+implementations cover the local spectrum:
+
+* :class:`SerialBackend` — everything in-process, no pickling.  Payloads
+  may carry live objects (``inline_payloads`` is always true), tracebacks
+  stay readable, and there is zero process overhead: the right choice for
+  debugging and small runs, and the reference semantics the other
+  backends must reproduce bit-identically.
+* :class:`PoolBackend` — a fresh ``multiprocessing`` pool per dispatch,
+  the engine's historical ``jobs > 1`` behaviour.  Each phase pays the
+  pool's interpreter + import startup once, which amortises well over
+  large phases.
+* :class:`PersistentWorkerBackend` — worker subprocesses spawned once,
+  on first use, and kept warm across phases *and* across engine runs for
+  the lifetime of the backend object.  Repeated small dispatches (a
+  campaign's trace phase followed by its simulate phase, a CLI process
+  running several sweeps) skip the per-dispatch fork/import cost the
+  pool backend pays every time.
+
+Because a backend only changes *where* a work unit executes — payloads and
+outcomes are the same JSON dicts everywhere — results are bit-identical
+across backends for every cache temperature; ``tests/engine/test_backends.py``
+pins that parity.  The ROADMAP's distributed executor slots in here as a
+fourth implementation without touching the task, phase or cache layers.
+
+Worker processes are forked from the parent, so they inherit the predictor
+registry as of backend start-up.  A registry re-binding made *after* a
+persistent backend spawned its workers is caught by the worker-side
+configuration-signature check (:mod:`repro.engine.worker`), which fails
+loudly rather than simulating a stale configuration.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from typing import Callable, Sequence
+
+#: Names accepted by :func:`resolve_backend` and the CLI's ``--backend``.
+BACKEND_NAMES = ("serial", "pool", "persistent")
+
+
+class ExecutorBackend:
+    """Executes one dispatch of independent work units, in input order.
+
+    Subclasses implement :meth:`map`; :meth:`inline_payloads` tells the
+    scheduler whether payloads for an upcoming dispatch may carry live
+    (unpicklable) objects, and :meth:`close` releases any held resources.
+    Backends are context managers (``close`` on exit).
+    """
+
+    #: Human-readable backend identifier (the CLI flag value).
+    name = "abstract"
+
+    def inline_payloads(self, task_count: int) -> bool:
+        """Whether a dispatch of ``task_count`` units runs in-process.
+
+        When true, payloads may embed live objects (e.g. a ``ValueTrace``)
+        and skip serialisation entirely; when false they must be picklable
+        and traces should travel as compressed v3 bytes.
+        """
+        raise NotImplementedError
+
+    def map(
+        self,
+        function: Callable[[dict], dict],
+        payloads: Sequence[dict],
+        on_result: Callable[[int], None] | None = None,
+    ) -> list[dict]:
+        """Run ``function`` over ``payloads``; return outcomes in order.
+
+        ``on_result`` is invoked with the payload index as each outcome
+        arrives (always in input order), for live progress reporting.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release held resources (worker processes); idempotent."""
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _map_serial(
+    function: Callable[[dict], dict],
+    payloads: Sequence[dict],
+    on_result: Callable[[int], None] | None,
+) -> list[dict]:
+    results: list[dict] = []
+    for index, payload in enumerate(payloads):
+        results.append(function(payload))
+        if on_result is not None:
+            on_result(index)
+    return results
+
+
+def _map_pool(
+    pool,
+    function: Callable[[dict], dict],
+    payloads: Sequence[dict],
+    on_result: Callable[[int], None] | None,
+) -> list[dict]:
+    results: list[dict] = []
+    for index, outcome in enumerate(pool.imap(function, payloads)):
+        results.append(outcome)
+        if on_result is not None:
+            on_result(index)
+    return results
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process execution: no pickling, no subprocesses, no startup cost."""
+
+    name = "serial"
+
+    def inline_payloads(self, task_count: int) -> bool:
+        return True
+
+    def map(self, function, payloads, on_result=None):
+        return _map_serial(function, payloads, on_result)
+
+
+class PoolBackend(ExecutorBackend):
+    """A fresh ``multiprocessing`` pool per dispatch (historical ``jobs > 1``).
+
+    A dispatch of at most one unit runs in-process instead — spinning up a
+    pool for a single task costs more than it saves — which is why
+    :meth:`inline_payloads` is true exactly for ``task_count <= 1``.
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, int(jobs))
+
+    def inline_payloads(self, task_count: int) -> bool:
+        return self.jobs == 1 or task_count <= 1
+
+    def map(self, function, payloads, on_result=None):
+        if self.inline_payloads(len(payloads)):
+            return _map_serial(function, payloads, on_result)
+        workers = min(self.jobs, len(payloads))
+        with multiprocessing.get_context().Pool(processes=workers) as pool:
+            return _map_pool(pool, function, payloads, on_result)
+
+
+def _shutdown_pool(pool) -> None:
+    """Terminate a worker pool promptly (finalizer-safe)."""
+    try:
+        pool.terminate()
+        pool.join()
+    except Exception:
+        pass
+
+
+class PersistentWorkerBackend(ExecutorBackend):
+    """Warm worker subprocesses reused across dispatches, phases and runs.
+
+    The pool is spawned lazily on the first dispatch and kept alive until
+    :meth:`close` (or garbage collection / interpreter exit via a
+    ``weakref`` finalizer — workers are daemonic either way, so they can
+    never outlive the parent).  Every dispatch goes to the warm workers,
+    including single-unit ones, so ``inline_payloads`` is always false and
+    payloads must stay picklable.
+    """
+
+    name = "persistent"
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+        self._pool = None
+        self._finalizer = None
+
+    def inline_payloads(self, task_count: int) -> bool:
+        return False
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = multiprocessing.get_context().Pool(processes=self.jobs)
+            self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        return self._pool
+
+    def map(self, function, payloads, on_result=None):
+        if not payloads:
+            return []
+        return _map_pool(self._ensure_pool(), function, payloads, on_result)
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._pool = None
+
+
+def resolve_backend(
+    backend: "str | ExecutorBackend | None", jobs: int
+) -> ExecutorBackend:
+    """Map an engine's ``backend`` argument to a backend instance.
+
+    ``None`` preserves the engine's historical behaviour: in-process for
+    ``jobs == 1``, a per-dispatch pool otherwise.  A string selects by
+    name (``"serial"``, ``"pool"``, ``"persistent"``), sized by ``jobs``;
+    an :class:`ExecutorBackend` instance is used as-is (the caller owns
+    its lifetime — one persistent backend can serve many engines).
+    """
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    if backend is None:
+        backend = "serial" if jobs <= 1 else "pool"
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "pool":
+        return PoolBackend(jobs)
+    if backend == "persistent":
+        return PersistentWorkerBackend(jobs)
+    raise ValueError(
+        f"unknown executor backend {backend!r} (expected one of {', '.join(BACKEND_NAMES)})"
+    )

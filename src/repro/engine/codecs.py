@@ -224,8 +224,11 @@ def encode_cache_entry(key: dict, payload: dict, compress: bool = True) -> bytes
 
     A payload's ``trace_text`` field (the canonical text form produced by
     :func:`repro.trace.io.dumps_trace`) — or pre-encoded ``trace_binary``
-    bytes from a previously decoded entry — is stored in the v3 binary
-    framing; every other field stays JSON.
+    bytes, whether from a previously decoded entry or fresh off the
+    worker wire (:func:`repro.engine.worker.execute_trace_task` returns
+    compressed v3 bytes) — is stored in the v3 binary framing; every
+    other field stays JSON.  The v3 framing is self-describing about its
+    own compression, so embedded bytes are stored as given.
     """
     payload_fields = dict(payload)
     trace_bytes = payload_fields.pop("trace_binary", b"")
@@ -324,9 +327,10 @@ def decode_cache_entry(blob: bytes) -> tuple[dict, dict]:
 def payload_trace(payload: dict) -> ValueTrace:
     """Materialise the :class:`ValueTrace` carried by a trace-task payload.
 
-    Accepts both payload shapes: ``trace_binary`` (decoded from a binary
-    cache entry — the fast path, no text involved) and ``trace_text``
-    (fresh task outcomes, JSON cache entries and the worker wire format).
+    Accepts both payload shapes: ``trace_binary`` (fresh task outcomes
+    off the worker wire and binary cache entries — the fast path, no text
+    involved) and ``trace_text`` (JSON cache entries and outcomes
+    produced by older code, kept as a decode fallback).
     """
     trace_bytes = payload.get("trace_binary")
     if trace_bytes is not None:

@@ -2,27 +2,30 @@
 
 A campaign run proceeds in three phases:
 
-1. **trace** — every benchmark not already in the cache is traced (in
-   worker processes when ``jobs > 1``) and stored in the configured cache
-   format (compressed binary by default, canonical text on request);
+1. **trace** — every benchmark not already in the cache is traced (on the
+   configured executor backend) and stored in the configured cache format
+   (compressed binary by default, canonical text on request);
 2. **simulate** — every (trace, predictor) pair not in the cache is
    simulated into a :class:`PredictorShard`;
 3. **merge** — shards are recombined per benchmark into the joint
    :class:`SimulationResult`, bit-identical to the lockstep loop.
 
-Phases 1 and 2 are embarrassingly parallel; the merge is a cheap single
-pass in the parent.  All cross-process data uses the JSON codecs, so the
-pool path and the cache path share one representation.
+Phases 1 and 2 are embarrassingly parallel and run through the shared
+phase executor (:mod:`repro.engine.phases` — the probe → dispatch → put
+protocol, used by campaigns and sweeps alike) on a pluggable
+:class:`~repro.engine.backends.ExecutorBackend`; the merge is a cheap
+single pass in the parent.  All cross-process data uses the JSON codecs,
+so every backend and the cache path share one representation.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.engine.backends import ExecutorBackend, resolve_backend
 from repro.engine.cache import ResultCache
 from repro.engine.codecs import (
     payload_trace,
@@ -33,6 +36,7 @@ from repro.engine.codecs import (
     statistics_from_dict,
 )
 from repro.engine.fingerprint import predictor_signature
+from repro.engine.phases import PhaseSpec, PhaseTask, run_phase
 from repro.engine.progress import NullProgress, ProgressListener
 from repro.engine.tasks import TASK_FORMAT_VERSION, SimulateTask, TraceTask
 from repro.engine.worker import execute_simulate_task, execute_trace_task
@@ -59,6 +63,15 @@ class EngineStats:
     def tasks_cached(self) -> int:
         return self.traces_cached + self.simulations_cached
 
+    def record(self, counter: str, cached: bool, count: int = 1) -> None:
+        """Bump one of the ``{traces,simulations}_{cached,computed}`` counters.
+
+        The phase executor accounts through this hook, so phases stay
+        generic over which work kind they schedule.
+        """
+        name = f"{counter}_{'cached' if cached else 'computed'}"
+        setattr(self, name, getattr(self, name) + count)
+
 
 class ExecutionEngine:
     """Schedules campaign work units over workers and the result cache.
@@ -66,8 +79,9 @@ class ExecutionEngine:
     Parameters
     ----------
     jobs:
-        Worker process count; ``1`` executes everything in-process (no
-        pickling, no pool) and is the reference serial path.
+        Worker process count for the process-based backends; with the
+        default backend selection, ``1`` executes everything in-process
+        (no pickling, no pool) and is the reference serial path.
     cache_dir:
         Root of the persistent :class:`ResultCache`; ``None`` disables
         on-disk caching.
@@ -88,6 +102,13 @@ class ExecutionEngine:
         touched by the finishing run are never evicted by that pass (see
         ``protect_since``), so a budget smaller than one run's output
         degrades to best-effort instead of destroying fresh results.
+    backend:
+        Executor backend the phases dispatch on: a name (``"serial"``,
+        ``"pool"``, ``"persistent"``), an :class:`ExecutorBackend`
+        instance (shared across engines; the caller owns its lifetime),
+        or ``None`` for the historical default — serial when ``jobs == 1``,
+        a per-dispatch pool otherwise.  Results are bit-identical across
+        backends; see :mod:`repro.engine.backends`.
     """
 
     def __init__(
@@ -99,6 +120,7 @@ class ExecutionEngine:
         cache_format: str = "binary",
         cache_max_bytes: int | None = None,
         cache_max_age: float | None = None,
+        backend: str | ExecutorBackend | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = (
@@ -110,10 +132,30 @@ class ExecutionEngine:
         self.cache_format = "json" if cache_format == "text" else cache_format
         if self.cache_format not in ("json", "binary"):
             raise ValueError(f"unknown cache format {cache_format!r}")
+        self._owns_backend = not isinstance(backend, ExecutorBackend)
+        self.backend = resolve_backend(backend, self.jobs)
         self.stats = EngineStats()
         #: Report of the most recent post-run auto-GC pass (``None`` when
         #: no bounds are configured or no run has finished yet).
         self.last_gc = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the backend's resources if this engine created it.
+
+        A backend *instance* passed to the constructor is left running —
+        that is the point of sharing a persistent backend across engines.
+        """
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -126,9 +168,9 @@ class ExecutionEngine:
     ):
         """Run one full campaign; returns a ``CampaignResult``.
 
-        Results are bit-identical for every ``jobs`` value: parallelism
-        only changes *where* each work unit executes, and the merge phase
-        reassembles the exact lockstep accounting.
+        Results are bit-identical for every ``jobs`` value and every
+        backend: parallelism only changes *where* each work unit executes,
+        and the merge phase reassembles the exact lockstep accounting.
         """
         # Imported lazily: campaign.py is the public façade over this
         # engine and importing it at module level would be circular.
@@ -141,7 +183,7 @@ class ExecutionEngine:
         stats = EngineStats(benchmarks=len(benchmarks), predictors=len(predictors))
         self.stats = stats
 
-        traces, digests, statistics = self._trace_phase(scale, benchmarks, stats)
+        traces, digests, statistics = self._trace_phase(scale, benchmarks)
         simulations = self._simulate_phase(predictors, benchmarks, traces, digests, stats)
 
         stats.total_seconds = time.perf_counter() - started
@@ -171,10 +213,10 @@ class ExecutionEngine:
         return result
 
     # ------------------------------------------------------------------ #
-    # Phases
+    # Phases — thin configurations of the shared phase executor
     # ------------------------------------------------------------------ #
     def _trace_phase(
-        self, scale: float, benchmarks: tuple[str, ...], stats: EngineStats
+        self, scale: float, benchmarks: tuple[str, ...]
     ) -> tuple[dict, dict[str, str], dict]:
         tasks = {
             name: TraceTask.for_workload(name, scale=scale) for name in benchmarks
@@ -183,47 +225,45 @@ class ExecutionEngine:
         digests: dict[str, str] = {}
         statistics: dict = {}
 
-        def materialise(name: str, payload: dict) -> bool:
-            # Binary cache hits materialise straight from the v3 bytes and
-            # use the stored digest, so the canonical text is never rebuilt
-            # on the warm path; fresh and JSON payloads take the text route.
-            # A payload whose embedded trace is corrupt is treated as a
-            # miss: the benchmark is re-traced instead of crashing the run.
+        def materialise(name: str, payload: dict) -> None:
+            traces[name] = payload_trace(payload)
+            digests[name] = payload_trace_digest(payload)
+            statistics[name] = statistics_from_dict(payload["statistics"])
+
+        def accept_cached(name: str, payload: dict) -> bool:
+            # Eager materialisation policy: binary cache hits materialise
+            # straight from the v3 bytes and use the stored digest, so the
+            # canonical text is never rebuilt on the warm path.  A payload
+            # whose embedded trace is corrupt is treated as a miss: the
+            # benchmark is re-traced instead of crashing the run.
             try:
-                traces[name] = payload_trace(payload)
-                digests[name] = payload_trace_digest(payload)
-                statistics[name] = statistics_from_dict(payload["statistics"])
+                materialise(name, payload)
             except Exception:
                 traces.pop(name, None)
                 digests.pop(name, None)
                 return False
             return True
 
-        pending: list[TraceTask] = []
-        for name in benchmarks:
-            cached = self.cache.get("trace", tasks[name].cache_key()) if self.cache else None
-            if cached is not None and materialise(name, cached):
-                stats.traces_cached += 1
-            else:
-                pending.append(tasks[name])
-
-        self.progress.phase_started("trace", len(benchmarks), stats.traces_cached)
-        for name in traces:
-            self.progress.task_finished("trace", name, cached=True)
-        outcomes = self._run_tasks(
-            execute_trace_task,
-            "trace",
-            [task.benchmark for task in pending],
-            [task.payload() for task in pending],
+        run_phase(
+            self,
+            PhaseSpec(
+                name="trace",
+                kind="trace",
+                counter="traces",
+                tasks=[
+                    PhaseTask(
+                        uid=name,
+                        label=name,
+                        cache_key=tasks[name].cache_key(),
+                        build_payload=lambda inline, task=tasks[name]: task.payload(),
+                    )
+                    for name in benchmarks
+                ],
+                worker=execute_trace_task,
+                accept_cached=accept_cached,
+                accept_fresh=materialise,
+            ),
         )
-        for task, outcome in zip(pending, outcomes):
-            name = task.benchmark
-            traces[name] = payload_trace(outcome)
-            digests[name] = payload_trace_digest(outcome)
-            statistics[name] = statistics_from_dict(outcome["statistics"])
-            stats.traces_computed += 1
-            if self.cache:
-                self.cache.put("trace", task.cache_key(), outcome, format=self.cache_format)
         return traces, digests, statistics
 
     def _simulate_phase(
@@ -253,14 +293,37 @@ class ExecutionEngine:
                 cached = self.cache.get("merge", merge_keys[benchmark])
                 if cached is not None:
                     simulations[benchmark] = simulation_from_dict(cached["simulation"])
-                    stats.simulations_cached += len(predictors)
+                    stats.record("simulations", cached=True, count=len(predictors))
 
-        shards: dict[str, dict[str, PredictorShard]] = {}
-        pending: list[SimulateTask] = []
+        shards: dict[str, dict[str, PredictorShard]] = {
+            benchmark: {} for benchmark in benchmarks if benchmark not in simulations
+        }
+        # Encode each trace for the pool wire at most once, however many
+        # predictors are pending over it.
+        wire_bytes: dict[str, bytes] = {}
+
+        def build_payload(task: SimulateTask, inline: bool) -> dict:
+            if inline:
+                return task.payload(traces[task.benchmark], inline=True)
+            if task.benchmark not in wire_bytes:
+                from repro.trace.io import dumps_trace_binary
+
+                wire_bytes[task.benchmark] = dumps_trace_binary(
+                    traces[task.benchmark], compress=True
+                )
+            return task.payload(
+                None, inline=False, trace_bytes=wire_bytes[task.benchmark]
+            )
+
+        def accept_shard(uid: tuple[str, str], payload: dict) -> bool:
+            benchmark, predictor = uid
+            shards[benchmark][predictor] = shard_from_dict(payload["shard"])
+            return True
+
+        phase_tasks = []
         for benchmark in benchmarks:
             if benchmark in simulations:
                 continue
-            shards[benchmark] = {}
             for predictor in predictors:
                 task = SimulateTask(
                     benchmark=benchmark,
@@ -268,53 +331,34 @@ class ExecutionEngine:
                     trace_digest=digests[benchmark],
                     predictor_signature=signatures[predictor],
                 )
-                cached = self.cache.get("simulate", task.cache_key()) if self.cache else None
-                if cached is not None:
-                    shards[benchmark][predictor] = shard_from_dict(cached["shard"])
-                    stats.simulations_cached += 1
-                else:
-                    pending.append(task)
-
-        total = len(benchmarks) * len(predictors)
-        self.progress.phase_started("simulate", total, stats.simulations_cached)
-        for benchmark in benchmarks:
-            if benchmark in simulations:
-                self.progress.task_finished("simulate", f"{benchmark}:*", cached=True)
-                continue
-            for predictor in shards[benchmark]:
-                self.progress.task_finished(
-                    "simulate", f"{benchmark}:{predictor}", cached=True
-                )
-        inline = self.jobs == 1 or len(pending) <= 1
-        wire_bytes: dict[str, bytes] = {}
-        if not inline:
-            # Encode each trace for the pool wire once, however many
-            # predictors are pending over it.
-            from repro.trace.io import dumps_trace_binary
-
-            for task in pending:
-                if task.benchmark not in wire_bytes:
-                    wire_bytes[task.benchmark] = dumps_trace_binary(
-                        traces[task.benchmark], compress=True
+                phase_tasks.append(
+                    PhaseTask(
+                        uid=(benchmark, predictor),
+                        label=f"{benchmark}:{predictor}",
+                        cache_key=task.cache_key(),
+                        build_payload=lambda inline, task=task: build_payload(
+                            task, inline
+                        ),
                     )
-        outcomes = self._run_tasks(
-            execute_simulate_task,
-            "simulate",
-            [f"{task.benchmark}:{task.predictor}" for task in pending],
-            [
-                task.payload(
-                    traces[task.benchmark],
-                    inline=inline,
-                    trace_bytes=wire_bytes.get(task.benchmark),
                 )
-                for task in pending
-            ],
+
+        run_phase(
+            self,
+            PhaseSpec(
+                name="simulate",
+                kind="simulate",
+                counter="simulations",
+                tasks=phase_tasks,
+                worker=execute_simulate_task,
+                accept_cached=accept_shard,
+                accept_fresh=accept_shard,
+                total=len(benchmarks) * len(predictors),
+                presatisfied_count=len(simulations) * len(predictors),
+                presatisfied_labels=[
+                    f"{benchmark}:*" for benchmark in benchmarks if benchmark in simulations
+                ],
+            ),
         )
-        for task, outcome in zip(pending, outcomes):
-            shards[task.benchmark][task.predictor] = shard_from_dict(outcome["shard"])
-            stats.simulations_computed += 1
-            if self.cache:
-                self.cache.put("simulate", task.cache_key(), outcome, format=self.cache_format)
 
         for benchmark in benchmarks:
             if benchmark in simulations:
@@ -365,18 +409,13 @@ class ExecutionEngine:
         labels: Sequence[str],
         payloads: Sequence[dict],
     ) -> list[dict]:
-        """Execute payloads in-process or across the pool, in input order."""
-        results: list[dict] = []
+        """Execute payloads on the configured backend, in input order."""
         if not payloads:
-            return results
-        if self.jobs == 1 or len(payloads) == 1:
-            for label, payload in zip(labels, payloads):
-                results.append(function(payload))
-                self.progress.task_finished(phase, label, cached=False)
-            return results
-        workers = min(self.jobs, len(payloads))
-        with multiprocessing.get_context().Pool(processes=workers) as pool:
-            for label, outcome in zip(labels, pool.imap(function, payloads)):
-                results.append(outcome)
-                self.progress.task_finished(phase, label, cached=False)
-        return results
+            return []
+        return self.backend.map(
+            function,
+            payloads,
+            on_result=lambda index: self.progress.task_finished(
+                phase, labels[index], cached=False
+            ),
+        )

@@ -1,30 +1,36 @@
 """Generic parameter sweeps over the execution engine.
 
-A *sweep* evaluates one benchmark across the cross product of three axes —
-input sets, flag settings and predictor configurations — the shape of the
+A *sweep* evaluates the cross product of four axes — benchmarks, input
+sets, flag settings and predictor configurations — the shape of the
 paper's Section 4.4 sensitivity studies (Table 6: inputs, Table 7: flags,
-Figure 11: FCM order).  :class:`SweepSpec` describes the axes;
-:func:`execute_sweep` expands the spec into the engine's existing
-trace/simulate task graph:
+Figure 11: FCM order, each over one benchmark) and of cross-benchmark
+sensitivity tables beyond the paper's gcc focus.  :class:`SweepSpec`
+describes the axes; :func:`execute_sweep` expands the spec into the
+engine's existing trace/simulate task graph:
 
-* one :class:`~repro.engine.tasks.TraceTask` per **unique** (input, flags)
-  combination — sweep points that share a trace configuration (every
-  predictor point of an order study, duplicated axis values) are
-  deduplicated before any work is scheduled;
+* one :class:`~repro.engine.tasks.TraceTask` per **unique**
+  (benchmark, input, flags) combination — sweep points that share a trace
+  configuration (every predictor point of an order study, duplicated axis
+  values) are deduplicated before any work is scheduled;
 * one :class:`~repro.engine.tasks.SimulateTask` per unique
-  (trace digest, predictor configuration) pair — two flag settings that
-  happen to produce byte-identical traces share their simulation too,
-  because simulations are keyed by trace *content*;
+  (trace digest, predictor configuration) pair — two settings that happen
+  to produce byte-identical traces share their simulation too, even
+  across benchmarks, because simulations are keyed by trace *content*;
 * no merge phase: a sweep point is a single-predictor measurement, and a
   :class:`~repro.simulation.simulator.PredictorShard`'s aggregate result
   is already bit-identical to that predictor's slot in the lockstep loop.
 
-Tasks run through the owning engine's worker pool (``--jobs``) and
-read/write the same persistent :class:`~repro.engine.cache.ResultCache`
-campaigns use — the cache keys are shared, so a campaign's gcc trace warms
-the sweep's default-input point and vice versa.  A fully warm sweep
-performs zero trace or simulate computation and never even decodes the
-cached traces (record counts come from the stored statistics).
+Both phases are thin configurations of the shared phase executor
+(:mod:`repro.engine.phases` — the same probe → dispatch → put protocol
+campaigns run), executed on the owning engine's backend (``--jobs`` /
+``--backend``) against the same persistent
+:class:`~repro.engine.cache.ResultCache` campaigns use — the cache keys
+are shared, so a campaign's gcc trace warms the sweep's default-input
+point and vice versa.  Where the campaign scheduler materialises cached
+traces eagerly, the sweep's policy is *lazy-with-repair*
+(:class:`_LazyTrace`): a fully warm sweep performs zero trace or simulate
+computation and never even decodes the cached traces (record counts come
+from the stored statistics).
 
 :func:`run_sweep` is the library-level façade mirroring
 :func:`repro.simulation.campaign.run_campaign`: it builds an engine from
@@ -46,6 +52,7 @@ from repro.engine.codecs import (
     statistics_from_dict,
 )
 from repro.engine.fingerprint import predictor_signature, predictors_fingerprint
+from repro.engine.phases import PhaseSpec, PhaseTask, run_phase
 from repro.engine.scheduler import EngineStats
 from repro.engine.tasks import SimulateTask, TraceTask
 from repro.engine.worker import execute_simulate_task, execute_trace_task
@@ -58,6 +65,14 @@ from repro.workloads.suite import get_workload
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.scheduler import ExecutionEngine
 
+#: Axis value that expands to everything the workload declares (used by
+#: the CLI's ``--inputs all``/``--flags all``; resolved per benchmark, so
+#: multi-benchmark sweeps expand each benchmark's own declared sets).
+AXIS_ALL = "all"
+
+#: A trace-determining coordinate: (benchmark, input, flags).
+TraceConfig = tuple[str, str, str]
+
 
 # --------------------------------------------------------------------------- #
 # Specification
@@ -66,11 +81,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class SweepSpec:
     """Axes of one parameter sweep.
 
-    ``inputs`` and ``flags`` may contain ``None`` for "the workload's
-    default"; :meth:`points` resolves (and validates) every name against
-    the workload, so equivalent specs expand to identical sweep points.
-    The expansion order is inputs-major, predictors-minor, matching the
-    row order of the paper's tables.
+    ``benchmark`` names a single benchmark; ``benchmarks`` (when set)
+    overrides it with a whole benchmark axis.  ``inputs`` and ``flags``
+    may contain ``None`` for "the workload's default" and the literal
+    ``"all"`` for "everything the workload declares"; :meth:`points`
+    resolves (and validates) every name against each benchmark's
+    workload, so equivalent specs expand to identical sweep points.  The
+    expansion order is benchmarks-major, then inputs, then flags, then
+    predictors — matching the row order of the paper's tables within each
+    benchmark.
     """
 
     benchmark: str = "gcc"
@@ -78,6 +97,7 @@ class SweepSpec:
     inputs: tuple[str | None, ...] = (None,)
     flags: tuple[str | None, ...] = (None,)
     predictors: tuple[str, ...] = ("fcm2",)
+    benchmarks: tuple[str, ...] | None = None
 
     # ------------------------------------------------------------------ #
     # The paper's three studies
@@ -134,29 +154,55 @@ class SweepSpec:
     # ------------------------------------------------------------------ #
     # Expansion
     # ------------------------------------------------------------------ #
+    def benchmark_axis(self) -> tuple[str, ...]:
+        """The benchmark axis: ``benchmarks`` when set, else ``(benchmark,)``."""
+        if self.benchmarks is not None:
+            return tuple(self.benchmarks)
+        return (self.benchmark,)
+
     def points(self) -> tuple["SweepPoint", ...]:
         """Expand the axes into resolved sweep points (cross product)."""
+        names = self.benchmark_axis()
         if not self.predictors:
-            raise SweepError(f"sweep over {self.benchmark!r} names no predictors")
-        if not self.inputs or not self.flags:
-            raise SweepError(f"sweep over {self.benchmark!r} has an empty axis")
-        workload = get_workload(self.benchmark)
+            raise SweepError(f"sweep over {names!r} names no predictors")
+        if not names or not self.inputs or not self.flags:
+            raise SweepError(f"sweep over {names!r} has an empty axis")
         expanded = []
-        for input_name in self.inputs:
-            resolved_input = workload.validate_input(input_name)
-            for flags in self.flags:
-                resolved_flags = workload.validate_flags(flags)
-                for predictor in self.predictors:
-                    expanded.append(
-                        SweepPoint(
-                            benchmark=self.benchmark,
-                            scale=self.scale,
-                            input_name=resolved_input,
-                            flags=resolved_flags,
-                            predictor=predictor,
+        for benchmark in names:
+            workload = get_workload(benchmark)
+            for input_name in _expand_axis(self.inputs, workload.input_sets):
+                resolved_input = workload.validate_input(input_name)
+                for flags in _expand_axis(self.flags, workload.flag_sets):
+                    resolved_flags = workload.validate_flags(flags)
+                    for predictor in self.predictors:
+                        expanded.append(
+                            SweepPoint(
+                                benchmark=benchmark,
+                                scale=self.scale,
+                                input_name=resolved_input,
+                                flags=resolved_flags,
+                                predictor=predictor,
+                            )
                         )
-                    )
         return tuple(expanded)
+
+
+def _expand_axis(
+    values: tuple[str | None, ...], declared: tuple[str, ...]
+) -> tuple[str | None, ...]:
+    """Expand :data:`AXIS_ALL` entries to the workload's declared set.
+
+    The literal only acts as a wildcard while no workload declares a set
+    member of that name; otherwise it selects that member, as any other
+    name would.
+    """
+    out: list[str | None] = []
+    for value in values:
+        if value == AXIS_ALL and AXIS_ALL not in declared:
+            out.extend(declared)
+        else:
+            out.append(value)
+    return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -170,9 +216,9 @@ class SweepPoint:
     predictor: str
 
     @property
-    def trace_config(self) -> tuple[str, str]:
-        """The trace-determining coordinates (input, flags) of this point."""
-        return (self.input_name, self.flags)
+    def trace_config(self) -> TraceConfig:
+        """The trace-determining coordinates (benchmark, input, flags)."""
+        return (self.benchmark, self.input_name, self.flags)
 
     def label(self) -> str:
         return f"{self.benchmark}:{self.input_name}:{self.flags}:{self.predictor}"
@@ -213,6 +259,10 @@ class SweepResult:
         """The sweep points measuring ``predictor``, in expansion order."""
         return [entry for entry in self.points if entry.point.predictor == predictor]
 
+    def by_benchmark(self, benchmark: str) -> list[SweepPointResult]:
+        """The sweep points measuring ``benchmark``, in expansion order."""
+        return [entry for entry in self.points if entry.point.benchmark == benchmark]
+
 
 # --------------------------------------------------------------------------- #
 # Execution
@@ -220,7 +270,8 @@ class SweepResult:
 class _LazyTrace:
     """Materialise a trace-task payload's trace at most once, on demand.
 
-    A fully warm sweep never touches the (expensive) embedded trace —
+    The sweep's trace-materialisation policy is *lazy-with-repair*: a
+    fully warm sweep never touches the (expensive) embedded trace —
     digests and record counts come from the payload's JSON fields — so
     decoding is deferred until a pending simulation actually needs the
     records.  A corrupt embedded trace falls back through ``repair``
@@ -246,7 +297,7 @@ class _LazyTrace:
 def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
     """Expand ``spec`` into trace/simulate tasks and run them on ``engine``.
 
-    Results are bit-identical for every ``jobs`` value and cache
+    Results are bit-identical for every backend, ``jobs`` value and cache
     temperature; prefer :meth:`ExecutionEngine.run_sweep` (which adds the
     post-run bounded GC pass) or the :func:`run_sweep` façade.
     """
@@ -255,7 +306,7 @@ def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
     signatures = {name: predictor_signature(name) for name in spec.predictors}
 
     # Unique trace configurations, in first-appearance order.
-    trace_tasks: dict[tuple[str, str], TraceTask] = {}
+    trace_tasks: dict[TraceConfig, TraceTask] = {}
     for point in points:
         if point.trace_config not in trace_tasks:
             trace_tasks[point.trace_config] = TraceTask(
@@ -268,34 +319,39 @@ def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
     engine.stats = stats
 
     # ------------------------------------------------------------------ #
-    # Trace phase (deduplicated across sweep points)
+    # Trace phase (deduplicated across sweep points, lazy materialisation)
     # ------------------------------------------------------------------ #
-    payloads: dict[tuple[str, str], dict] = {}
-    pending_traces: list[tuple[str, str]] = []
-    for config, task in trace_tasks.items():
-        cached = engine.cache.get("trace", task.cache_key()) if engine.cache else None
-        if cached is not None and _trace_payload_usable(cached):
-            payloads[config] = cached
-            stats.traces_cached += 1
-        else:
-            pending_traces.append(config)
+    payloads: dict[TraceConfig, dict] = {}
 
-    engine.progress.phase_started("trace", len(trace_tasks), stats.traces_cached)
-    for config in payloads:
-        engine.progress.task_finished("trace", _trace_label(spec, config), cached=True)
-    outcomes = engine._run_tasks(
-        execute_trace_task,
-        "trace",
-        [_trace_label(spec, config) for config in pending_traces],
-        [trace_tasks[config].payload() for config in pending_traces],
-    )
-    for config, outcome in zip(pending_traces, outcomes):
+    def accept_trace_probe(config: TraceConfig, payload: dict) -> bool:
+        if not _trace_payload_usable(payload):
+            return False
+        payloads[config] = payload
+        return True
+
+    def accept_trace_fresh(config: TraceConfig, outcome: dict) -> None:
         payloads[config] = outcome
-        stats.traces_computed += 1
-        if engine.cache:
-            engine.cache.put(
-                "trace", trace_tasks[config].cache_key(), outcome, format=engine.cache_format
-            )
+
+    run_phase(
+        engine,
+        PhaseSpec(
+            name="trace",
+            kind="trace",
+            counter="traces",
+            tasks=[
+                PhaseTask(
+                    uid=config,
+                    label=_trace_label(config),
+                    cache_key=task.cache_key(),
+                    build_payload=lambda inline, task=task: task.payload(),
+                )
+                for config, task in trace_tasks.items()
+            ],
+            worker=execute_trace_task,
+            accept_cached=accept_trace_probe,
+            accept_fresh=accept_trace_fresh,
+        ),
+    )
 
     digests = {config: payload_trace_digest(payloads[config]) for config in trace_tasks}
     statistics = {
@@ -303,7 +359,7 @@ def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
         for config in trace_tasks
     }
 
-    def make_repair(config: tuple[str, str]):
+    def make_repair(config: TraceConfig):
         # A stamped entry can pass the cheap probe (digest + statistics
         # readable) while its trace body is corrupt.  When the decode
         # fails, re-trace, account the work honestly (this config was
@@ -332,7 +388,7 @@ def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
     # ------------------------------------------------------------------ #
     # Simulate phase (deduplicated by trace content and configuration)
     # ------------------------------------------------------------------ #
-    units: dict[tuple[str, str], tuple[SimulateTask, tuple[str, str]]] = {}
+    units: dict[tuple[str, str], tuple[SimulateTask, TraceConfig]] = {}
     for point in points:
         unit = (digests[point.trace_config], point.predictor)
         if unit not in units:
@@ -347,45 +403,45 @@ def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
             )
 
     shards: dict[tuple[str, str], object] = {}
-    pending_units: list[tuple[str, str]] = []
-    for unit, (task, _) in units.items():
-        cached = engine.cache.get("simulate", task.cache_key()) if engine.cache else None
-        if cached is not None:
-            shards[unit] = shard_from_dict(cached["shard"])
-            stats.simulations_cached += 1
-        else:
-            pending_units.append(unit)
+    # Encode each trace for the pool wire at most once, however many
+    # predictors are pending over it (an order study has one trace under
+    # its whole predictor axis).
+    wire_bytes: dict[TraceConfig, bytes] = {}
 
-    engine.progress.phase_started("simulate", len(units), stats.simulations_cached)
-    for unit in shards:
-        engine.progress.task_finished("simulate", _unit_label(spec, units, unit), cached=True)
-    inline = engine.jobs == 1 or len(pending_units) <= 1
-    wire_bytes: dict[tuple[str, str], bytes] = {}
-
-    def simulate_payload(unit: tuple[str, str]) -> dict:
+    def build_simulate_payload(unit: tuple[str, str], inline: bool) -> dict:
         task, config = units[unit]
         if inline:
             return task.payload(traces[config].get(), inline=True)
-        # Encode each trace for the pool wire once, however many
-        # predictors are pending over it (an order study has one trace
-        # under its whole predictor axis).
         if config not in wire_bytes:
             wire_bytes[config] = dumps_trace_binary(traces[config].get(), compress=True)
         return task.payload(None, inline=False, trace_bytes=wire_bytes[config])
 
-    outcomes = engine._run_tasks(
-        execute_simulate_task,
-        "simulate",
-        [_unit_label(spec, units, unit) for unit in pending_units],
-        [simulate_payload(unit) for unit in pending_units],
+    def accept_shard(unit: tuple[str, str], payload: dict) -> bool:
+        shards[unit] = shard_from_dict(payload["shard"])
+        return True
+
+    run_phase(
+        engine,
+        PhaseSpec(
+            name="simulate",
+            kind="simulate",
+            counter="simulations",
+            tasks=[
+                PhaseTask(
+                    uid=unit,
+                    label=_unit_label(units, unit),
+                    cache_key=task.cache_key(),
+                    build_payload=lambda inline, unit=unit: build_simulate_payload(
+                        unit, inline
+                    ),
+                )
+                for unit, (task, _) in units.items()
+            ],
+            worker=execute_simulate_task,
+            accept_cached=accept_shard,
+            accept_fresh=accept_shard,
+        ),
     )
-    for unit, outcome in zip(pending_units, outcomes):
-        shards[unit] = shard_from_dict(outcome["shard"])
-        stats.simulations_computed += 1
-        if engine.cache:
-            engine.cache.put(
-                "simulate", units[unit][0].cache_key(), outcome, format=engine.cache_format
-            )
 
     # ------------------------------------------------------------------ #
     # Assembly — one result per sweep point, shared units fanned back out
@@ -425,14 +481,14 @@ def _trace_payload_usable(payload: dict) -> bool:
     return True
 
 
-def _trace_label(spec: SweepSpec, config: tuple[str, str]) -> str:
-    input_name, flags = config
-    return f"{spec.benchmark}:{input_name}:{flags}"
+def _trace_label(config: TraceConfig) -> str:
+    benchmark, input_name, flags = config
+    return f"{benchmark}:{input_name}:{flags}"
 
 
-def _unit_label(spec: SweepSpec, units: dict, unit: tuple[str, str]) -> str:
+def _unit_label(units: dict, unit: tuple[str, str]) -> str:
     _, config = units[unit]
-    return f"{_trace_label(spec, config)}:{unit[1]}"
+    return f"{_trace_label(config)}:{unit[1]}"
 
 
 # --------------------------------------------------------------------------- #
@@ -448,16 +504,17 @@ def run_sweep(
     cache_dir=None,
     progress=None,
     cache_format: str | None = None,
+    backend=None,
 ) -> SweepResult:
     """Run one sweep on an engine built from the process-wide defaults.
 
     ``use_cache`` governs both the in-process memo and the on-disk cache;
     unset parameters fall back to the engine defaults configured through
     :func:`repro.simulation.campaign.set_campaign_defaults` (which the CLI
-    wires to ``--jobs``/``--cache-dir``/``--cache-format``/``--no-cache``).
-    The memo keys on the spec *and* the predictors' configuration
-    fingerprints, so re-binding a predictor name cannot serve stale
-    results — the same policy the campaign memo follows.
+    wires to ``--jobs``/``--cache-dir``/``--cache-format``/``--backend``/
+    ``--no-cache``).  The memo keys on the spec *and* the predictors'
+    configuration fingerprints, so re-binding a predictor name cannot
+    serve stale results — the same policy the campaign memo follows.
     """
     from repro.simulation import campaign
 
@@ -471,8 +528,12 @@ def run_sweep(
         use_cache=use_cache,
         progress=progress,
         cache_format=cache_format,
+        backend=backend,
     )
-    result = engine.run_sweep(spec)
+    try:
+        result = engine.run_sweep(spec)
+    finally:
+        engine.close()
     campaign.record_engine_stats(engine.stats)
     if use_cache:
         _SWEEP_MEMO[key] = result

@@ -4,10 +4,12 @@ A campaign decomposes into :class:`TraceTask` units (one per benchmark) and
 :class:`SimulateTask` units (one per (benchmark, predictor) pair); the
 merge of simulate shards back into joint results is cheap and always runs
 in the parent.  A parameter sweep (:mod:`repro.engine.sweeps`) reuses the
-same two task kinds, with trace tasks additionally spanning the workload's
+same two task kinds, with trace tasks spanning the sweep's *benchmark*,
 *input* and *flags* axes.  Each task knows its cache key — the full set of
 inputs its output depends on — and how to render itself into a picklable
-payload for the worker protocol (:mod:`repro.engine.worker`).
+payload for the worker protocol (:mod:`repro.engine.worker`); the shared
+phase executor (:mod:`repro.engine.phases`) schedules both kinds over the
+engine's executor backend.
 """
 
 from __future__ import annotations

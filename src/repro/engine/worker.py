@@ -14,19 +14,25 @@ from hashlib import sha256
 from repro.core.registry import create_predictor
 from repro.engine.codecs import shard_to_dict, statistics_to_dict
 from repro.errors import SimulationError
+from repro.trace.io import dumps_trace, dumps_trace_binary, loads_trace, loads_trace_binary
 from repro.simulation.simulator import simulate_shard
-from repro.trace.io import dumps_trace, loads_trace, loads_trace_binary
 from repro.workloads.suite import get_workload
 
 
 def execute_trace_task(payload: dict) -> dict:
-    """Run one benchmark into a trace; returns its text form plus statistics.
+    """Run one benchmark into a trace; returns v3 bytes plus statistics.
 
     ``input``/``flags`` select the workload configuration (absent means the
     workload's default, as resolved by :meth:`TraceTask.for_workload`).
-    The digest of the canonical text form rides along so cache readers —
-    the binary ones in particular — never have to re-render the text just
-    to key the simulate phase.
+    The trace travels as compressed v3 binary bytes (``trace_binary``) —
+    roughly an order of magnitude smaller on the pool wire than the
+    canonical text, and exactly what the binary cache envelope embeds, so
+    the parent never renders or re-parses text for a cold trace.  The
+    canonical text form still exists transiently in the worker because the
+    ``digest`` that keys the simulate phase is defined over it (see
+    ``docs/trace-format.md``); consumers accept ``trace_text`` payloads as
+    a decode fallback for entries and wire formats produced by older code
+    (:func:`repro.engine.codecs.payload_trace`).
     """
     workload = get_workload(payload["benchmark"])
     trace = workload.trace(
@@ -36,7 +42,7 @@ def execute_trace_task(payload: dict) -> dict:
     )
     text = dumps_trace(trace)
     return {
-        "trace_text": text,
+        "trace_binary": dumps_trace_binary(trace, compress=True),
         "digest": sha256(text.encode("utf-8")).hexdigest(),
         "statistics": statistics_to_dict(trace.statistics()),
     }

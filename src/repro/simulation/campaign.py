@@ -70,11 +70,19 @@ class EngineDefaults:
     cache_format: str = "binary"
     cache_max_bytes: int | None = None
     cache_max_age: float | None = None
+    backend: str | None = None
 
 
 _CACHE: dict[tuple, CampaignResult] = {}
 _ENGINE_DEFAULTS = EngineDefaults()
 _LAST_STATS: EngineStats | None = None
+#: Shared executor backends, keyed by (name, jobs).  Only the persistent
+#: backend is stateful enough to be worth sharing: handing every engine
+#: built from the process-wide defaults the *same* instance keeps its
+#: warm workers alive across campaigns and sweeps (e.g. the tables and
+#: figures of one ``repro-vp experiments`` invocation), which is the
+#: whole point of that backend.
+_SHARED_BACKENDS: dict[tuple[str, int], object] = {}
 
 
 def campaign_scale_for(profile: str) -> float:
@@ -89,13 +97,15 @@ def set_campaign_defaults(
     cache_format: str | None = None,
     cache_max_bytes: int | None = None,
     cache_max_age: float | None = None,
+    backend: str | None = None,
 ) -> None:
     """Configure the engine used by default for subsequent campaigns/sweeps.
 
     The CLI routes ``--jobs``/``--cache-dir``/``--no-cache``/
-    ``--cache-format``/``--cache-max-bytes``/``--cache-max-age`` through
-    here so that the experiment entry points — whose signatures only carry
-    ``scale`` — still execute on the configured engine.
+    ``--cache-format``/``--cache-max-bytes``/``--cache-max-age``/
+    ``--backend`` through here so that the experiment entry points — whose
+    signatures only carry ``scale`` — still execute on the configured
+    engine.
     """
     if jobs is not None:
         _ENGINE_DEFAULTS.jobs = max(1, int(jobs))
@@ -109,6 +119,8 @@ def set_campaign_defaults(
         _ENGINE_DEFAULTS.cache_max_bytes = cache_max_bytes
     if cache_max_age is not None:
         _ENGINE_DEFAULTS.cache_max_age = cache_max_age
+    if backend is not None:
+        _ENGINE_DEFAULTS.backend = backend
 
 
 def reset_campaign_defaults() -> None:
@@ -119,6 +131,10 @@ def reset_campaign_defaults() -> None:
     _ENGINE_DEFAULTS.cache_format = "binary"
     _ENGINE_DEFAULTS.cache_max_bytes = None
     _ENGINE_DEFAULTS.cache_max_age = None
+    _ENGINE_DEFAULTS.backend = None
+    for shared in _SHARED_BACKENDS.values():
+        shared.close()
+    _SHARED_BACKENDS.clear()
 
 
 def engine_defaults() -> EngineDefaults:
@@ -132,23 +148,39 @@ def build_engine(
     use_cache: bool = True,
     progress: ProgressListener | None = None,
     cache_format: str | None = None,
+    backend: str | None = None,
 ):
     """Construct an :class:`ExecutionEngine` from the process-wide defaults.
 
     Used by :func:`run_campaign` and :func:`repro.engine.sweeps.run_sweep`
     so both entry points resolve unset parameters — including the
-    post-run GC bounds — identically.
+    post-run GC bounds and the executor backend — identically.  A
+    ``"persistent"`` backend resolves to one process-wide shared instance
+    per ``jobs`` value, so its warm workers survive across the engines
+    these façades build.
     """
     from repro.engine.scheduler import ExecutionEngine
 
+    jobs = _ENGINE_DEFAULTS.jobs if jobs is None else jobs
+    backend = _ENGINE_DEFAULTS.backend if backend is None else backend
+    if backend == "persistent":
+        key = (backend, jobs)
+        shared = _SHARED_BACKENDS.get(key)
+        if shared is None:
+            from repro.engine.backends import PersistentWorkerBackend
+
+            shared = PersistentWorkerBackend(jobs)
+            _SHARED_BACKENDS[key] = shared
+        backend = shared
     return ExecutionEngine(
-        jobs=_ENGINE_DEFAULTS.jobs if jobs is None else jobs,
+        jobs=jobs,
         cache_dir=_ENGINE_DEFAULTS.cache_dir if cache_dir is None else cache_dir,
         use_cache=use_cache,
         progress=progress,
         cache_format=_ENGINE_DEFAULTS.cache_format if cache_format is None else cache_format,
         cache_max_bytes=_ENGINE_DEFAULTS.cache_max_bytes,
         cache_max_age=_ENGINE_DEFAULTS.cache_max_age,
+        backend=backend,
     )
 
 
@@ -172,12 +204,13 @@ def run_campaign(
     cache_dir: str | Path | None = None,
     progress: ProgressListener | None = None,
     cache_format: str | None = None,
+    backend: str | None = None,
 ) -> CampaignResult:
     """Trace every benchmark and simulate every predictor over each trace.
 
     ``use_cache`` governs both the in-process memo and the on-disk cache;
-    ``jobs``/``cache_dir`` default to the process-wide engine settings
-    (see :func:`set_campaign_defaults`).
+    ``jobs``/``cache_dir``/``backend`` default to the process-wide engine
+    settings (see :func:`set_campaign_defaults`).
     """
     from repro.engine.fingerprint import predictors_fingerprint
 
@@ -197,8 +230,14 @@ def run_campaign(
         use_cache=use_cache,
         progress=progress,
         cache_format=cache_format,
+        backend=backend,
     )
-    result = engine.run(scale=scale, predictors=tuple(predictors), benchmarks=tuple(benchmarks))
+    try:
+        result = engine.run(
+            scale=scale, predictors=tuple(predictors), benchmarks=tuple(benchmarks)
+        )
+    finally:
+        engine.close()
     _LAST_STATS = engine.stats
     if use_cache:
         _CACHE[key] = result

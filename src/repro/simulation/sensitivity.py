@@ -8,12 +8,17 @@ to gcc as the paper does.
 
 Since the sweep refactor these functions are thin façades over
 :mod:`repro.engine.sweeps`: each builds the matching :class:`SweepSpec`
-and executes it through the campaign execution engine, so the studies get
-``--jobs`` parallelism, shared-trace deduplication and the persistent
-result cache for free.  The numbers are bit-identical to the historical
-serial loops (one fresh predictor per setting, ``simulate_trace`` per
-point); the regression tests in ``tests/engine/test_sweeps.py`` pin that
-equivalence down for all three axes.
+and executes it through the campaign execution engine's shared phase
+executor, so the studies get ``--jobs`` parallelism, the pluggable
+executor backends (``--backend``, including persistent warm workers),
+shared-trace deduplication and the persistent result cache for free —
+the CLI's engine flags reach them through
+:func:`repro.simulation.campaign.set_campaign_defaults`, which
+``repro-vp experiments`` wires up before regenerating any sweep-backed
+table.  The numbers are bit-identical to the historical serial loops
+(one fresh predictor per setting, ``simulate_trace`` per point) on every
+backend; the regression tests in ``tests/engine/test_sweeps.py`` pin
+that equivalence down for all three axes.
 """
 
 from __future__ import annotations

@@ -255,6 +255,141 @@ class TestRunSweepFacade:
         assert second.points[0].result == first.points[0].result
 
 
+class TestBenchmarkAxis:
+    """benchmark is a fourth sweep axis (multi-benchmark specs)."""
+
+    def test_multi_benchmark_expansion_order(self):
+        spec = SweepSpec(
+            benchmarks=("compress", "m88ksim"), scale=SCALE, predictors=("l", "s2")
+        )
+        points = spec.points()
+        assert [point.benchmark for point in points] == [
+            "compress", "compress", "m88ksim", "m88ksim",
+        ]
+        assert [point.predictor for point in points] == ["l", "s2", "l", "s2"]
+
+    def test_benchmarks_override_single_benchmark(self):
+        spec = SweepSpec(benchmark="gcc", benchmarks=("compress",), predictors=("l",))
+        assert spec.benchmark_axis() == ("compress",)
+        assert [point.benchmark for point in spec.points()] == ["compress"]
+
+    def test_defaults_resolve_per_benchmark(self):
+        spec = SweepSpec(benchmarks=("gcc", "compress"), predictors=("l",))
+        points = spec.points()
+        assert points[0].input_name == "gcc.i"  # gcc's declared default
+        assert points[1].input_name == "ref"  # compress's declared default
+
+    def test_all_expands_per_benchmark(self):
+        spec = SweepSpec(
+            benchmarks=("gcc", "compress"), inputs=("all",), predictors=("l",)
+        )
+        points = spec.points()
+        gcc_inputs = [p.input_name for p in points if p.benchmark == "gcc"]
+        compress_inputs = [p.input_name for p in points if p.benchmark == "compress"]
+        assert tuple(gcc_inputs) == get_workload("gcc").input_sets
+        assert tuple(compress_inputs) == get_workload("compress").input_sets
+
+    def test_duplicate_benchmarks_share_trace_and_simulation(self):
+        engine = ExecutionEngine(jobs=1)
+        sweep = engine.run_sweep(
+            SweepSpec(benchmarks=("compress", "compress"), scale=SCALE, predictors=("l",))
+        )
+        assert len(sweep.points) == 2
+        assert engine.stats.traces_computed == 1
+        assert engine.stats.simulations_computed == 1
+        assert sweep.points[0].result == sweep.points[1].result
+
+    def test_multi_benchmark_matches_single_benchmark_sweeps(self):
+        joint = ExecutionEngine(jobs=1).run_sweep(
+            SweepSpec(benchmarks=("compress", "m88ksim"), scale=SCALE, predictors=("l",))
+        )
+        for benchmark in ("compress", "m88ksim"):
+            single = ExecutionEngine(jobs=1).run_sweep(
+                SweepSpec(benchmark=benchmark, scale=SCALE, predictors=("l",))
+            )
+            (joint_point,) = joint.by_benchmark(benchmark)
+            assert joint_point.point == single.points[0].point
+            assert joint_point.result == single.points[0].result
+            assert joint_point.record_count == single.points[0].record_count
+
+    def test_multi_benchmark_shares_cache_with_campaign(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        ExecutionEngine(jobs=1, cache_dir=cache_dir).run(
+            scale=SCALE, predictors=("l",), benchmarks=("compress", "m88ksim")
+        )
+        engine = ExecutionEngine(jobs=1, cache_dir=cache_dir)
+        engine.run_sweep(
+            SweepSpec(benchmarks=("compress", "m88ksim"), scale=SCALE, predictors=("l",))
+        )
+        assert engine.stats.traces_computed == 0
+        assert engine.stats.simulations_computed == 0
+        assert engine.stats.traces_cached == 2
+        assert engine.stats.simulations_cached == 2
+
+    def test_empty_benchmark_axis_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec(benchmarks=(), benchmark="", predictors=("l",)).points()
+
+
+class TestTraceWireFormat:
+    """execute_trace_task returns v3 binary bytes + digest over the wire."""
+
+    def test_trace_outcome_carries_v3_bytes_and_digest(self):
+        from hashlib import sha256
+
+        from repro.engine.codecs import payload_trace, payload_trace_digest
+        from repro.engine.tasks import TraceTask
+        from repro.engine.worker import execute_trace_task
+        from repro.trace.io import dumps_trace
+
+        outcome = execute_trace_task(TraceTask.for_workload("compress", SCALE).payload())
+        assert "trace_text" not in outcome
+        assert isinstance(outcome["trace_binary"], bytes)
+        trace = payload_trace(outcome)
+        text = dumps_trace(trace)
+        assert outcome["digest"] == sha256(text.encode("utf-8")).hexdigest()
+        assert payload_trace_digest(outcome) == outcome["digest"]
+        reference = get_workload("compress").trace(scale=SCALE)
+        assert len(trace) == len(reference)
+
+    def test_binary_outcome_smaller_than_text_form(self):
+        from repro.engine.tasks import TraceTask
+        from repro.engine.worker import execute_trace_task
+        from repro.trace.io import dumps_trace
+
+        outcome = execute_trace_task(TraceTask.for_workload("compress", SCALE).payload())
+        reference = get_workload("compress").trace(scale=SCALE)
+        assert len(outcome["trace_binary"]) < len(dumps_trace(reference).encode("utf-8")) // 5
+
+    def test_text_payloads_still_accepted_as_fallback(self, tmp_path):
+        # A cache entry written by older code (canonical text) still
+        # probes, decodes and simulates; see payload_trace's fallback.
+        from repro.engine.codecs import payload_trace
+        from repro.engine.tasks import TraceTask
+        from repro.engine.worker import execute_trace_task
+        from repro.trace.io import dumps_trace, loads_trace_binary
+
+        outcome = execute_trace_task(TraceTask.for_workload("compress", SCALE).payload())
+        trace = loads_trace_binary(outcome["trace_binary"])
+        legacy = {
+            "trace_text": dumps_trace(trace),
+            "statistics": outcome["statistics"],
+        }
+        assert dumps_trace(payload_trace(legacy)) == legacy["trace_text"]
+
+        cache_dir = tmp_path / "cache"
+        spec = SweepSpec(benchmark="compress", scale=SCALE, predictors=("l",))
+        engine = ExecutionEngine(jobs=1, cache_dir=cache_dir)
+        cold = engine.run_sweep(spec)
+        # Rewrite the trace entry the way pre-v3-wire code would have.
+        task = TraceTask.for_workload("compress", SCALE)
+        engine.cache.put("trace", task.cache_key(), legacy, format="json")
+        warm = ExecutionEngine(jobs=1, cache_dir=cache_dir)
+        result = warm.run_sweep(spec)
+        assert warm.stats.traces_computed == 0
+        assert result.points[0].result == cold.points[0].result
+
+
 class TestBinaryWireFormat:
     def test_pool_payload_carries_v3_bytes(self, compress_trace):
         task = SimulateTask(

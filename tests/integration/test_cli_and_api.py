@@ -164,6 +164,79 @@ class TestSweepCli:
         assert cli_points == table_points
 
 
+class TestBackendCli:
+    def test_campaign_backend_parity_via_cli(self, capsys, tmp_path):
+        outputs = {}
+        for backend in ("serial", "pool", "persistent"):
+            cache_dir = str(tmp_path / f"cache-{backend}")
+            arguments = [
+                "campaign",
+                "--scale", "0.05",
+                "--benchmarks", "compress",
+                "--predictors", "l", "s2",
+                "--jobs", "2",
+                "--backend", backend,
+                "--cache-dir", cache_dir,
+            ]
+            assert main(arguments) == 0
+            output = capsys.readouterr().out
+            assert "simulations: 2 computed, 0 cached" in output
+            # The accuracy table (everything before the stats line) must be
+            # bit-identical across backends.
+            outputs[backend] = output.rsplit("traces:", 1)[0]
+        assert outputs["serial"] == outputs["pool"] == outputs["persistent"]
+
+    def test_sweep_persistent_backend_warm_rerun(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        arguments = [
+            "sweep",
+            "--benchmark", "compress",
+            "--scale", "0.05",
+            "--jobs", "2",
+            "--backend", "persistent",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(arguments) == 0
+        assert "simulations: 1 computed, 0 cached" in capsys.readouterr().out
+        assert main(arguments) == 0
+        output = capsys.readouterr().out
+        assert "traces: 0 computed, 1 cached" in output
+        assert "simulations: 0 computed, 1 cached" in output
+
+    def test_backend_rejects_unknown_name(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--backend", "bogus"])
+
+
+class TestMultiBenchmarkSweepCli:
+    def test_benchmarks_axis_with_all_inputs(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            [
+                "sweep",
+                "--benchmarks", "compress", "m88ksim",
+                "--inputs", "all",
+                "--scale", "0.05",
+                "--cache-dir", cache_dir,
+                "--json",
+            ]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["benchmarks"] == ["compress", "m88ksim"]
+        benchmarks = {point["benchmark"] for point in payload["points"]}
+        assert benchmarks == {"compress", "m88ksim"}
+
+    def test_benchmark_column_in_table(self, capsys):
+        assert main(
+            ["sweep", "--benchmarks", "compress", "m88ksim", "--scale", "0.05"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "compress" in output and "m88ksim" in output
+        assert "Sweep — compress, m88ksim" in output
+
+
 class TestCacheCli:
     CAMPAIGN = [
         "campaign",
