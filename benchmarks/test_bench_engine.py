@@ -12,6 +12,10 @@ is pure parse/decode time and on-disk footprint).
 
 from __future__ import annotations
 
+import os
+
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.core.registry import PAPER_PREDICTORS
 from repro.engine import ExecutionEngine
@@ -20,10 +24,25 @@ from repro.workloads.suite import BENCHMARK_ORDER
 
 SCALE = QUICK_SCALE
 
+#: The process-based backends only say something interesting with real
+#: parallel hardware; on a single-core runner they mostly measure pool
+#: startup overhead, so those axis points are skipped rather than graphed.
+_MULTICORE = (os.cpu_count() or 1) >= 2
 
-def _run_engine(jobs: int, cache_dir=None, use_cache: bool = True, cache_format: str = "binary"):
+
+def _run_engine(
+    jobs: int,
+    cache_dir=None,
+    use_cache: bool = True,
+    cache_format: str = "binary",
+    backend=None,
+):
     engine = ExecutionEngine(
-        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, cache_format=cache_format
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        cache_format=cache_format,
+        backend=backend,
     )
     result = engine.run(scale=SCALE, predictors=PAPER_PREDICTORS, benchmarks=BENCHMARK_ORDER)
     return engine, result
@@ -69,6 +88,28 @@ def test_bench_engine_warm_cache(benchmark, tmp_path):
     engine, result = run_once(benchmark, _run_engine, jobs=1, cache_dir=cache_dir)
     assert engine.stats.simulations_computed == 0
     assert engine.stats.traces_computed == 0
+    assert set(result.simulations) == set(BENCHMARK_ORDER)
+    _report(engine)
+
+
+@pytest.mark.parametrize("backend_name", ["serial", "pool", "persistent"])
+def test_bench_engine_warm_cache_backend_axis(benchmark, tmp_path, backend_name):
+    """Warm rerun per executor backend: zero compute, pure probe + dispatch cost.
+
+    Every point performs identical (zero) trace/simulate work, so the
+    deltas isolate each backend's fixed overheads — cache probing is
+    common, worker startup is what differs.  The process-based points are
+    skipped on single-core runners, where they would mostly measure pool
+    startup rather than anything a scheduling decision could act on.
+    """
+    if backend_name != "serial" and not _MULTICORE:
+        pytest.skip("multi-process backend timings are meaningless on one core")
+    cache_dir = tmp_path / "cache"
+    _run_engine(jobs=1, cache_dir=cache_dir)  # populate (untimed)
+    engine, result = run_once(
+        benchmark, _run_engine, jobs=2, cache_dir=cache_dir, backend=backend_name
+    )
+    assert engine.stats.tasks_computed == 0
     assert set(result.simulations) == set(BENCHMARK_ORDER)
     _report(engine)
 

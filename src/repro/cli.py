@@ -13,6 +13,11 @@ Subcommands
 ``cache``
     Inspect and manage a persistent result cache: ``stats``, ``gc``,
     ``clear``, ``verify`` (see ``docs/cache-layout.md``).
+``worker``
+    Run a warm worker process serving the remote executor backend
+    (``worker serve --listen HOST:PORT``); engines dispatch to it with
+    ``--backend remote --workers HOST:PORT[,HOST:PORT...]`` (see the
+    "Distributed execution" section of ``docs/architecture.md``).
 ``simulate``
     Run a chosen set of predictors over one benchmark and print accuracy.
 ``workloads`` / ``predictors``
@@ -31,7 +36,7 @@ from repro.core.registry import PAPER_PREDICTORS, available_predictors, create_p
 from repro.engine.backends import BACKEND_NAMES
 from repro.engine.cache import ResultCache
 from repro.engine.progress import ConsoleProgress
-from repro.errors import UnknownPredictorError, WorkloadError
+from repro.errors import DispatchError, UnknownPredictorError, WorkloadError
 from repro.engine.scheduler import ExecutionEngine
 from repro.engine.sweeps import SweepSpec
 from repro.isa.opcodes import REPORTED_CATEGORIES
@@ -220,6 +225,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "--cache-dir", required=True, help="result cache directory to operate on"
         )
 
+    worker = subparsers.add_parser(
+        "worker", help="run a worker process for the remote executor backend"
+    )
+    worker_commands = worker.add_subparsers(dest="worker_command", required=True)
+    worker_serve = worker_commands.add_parser(
+        "serve", help="serve trace/simulate tasks for remote engines until interrupted"
+    )
+    worker_serve.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="address to listen on (default 127.0.0.1:0: loopback, free port; "
+        "the chosen address is printed on startup)",
+    )
+
     simulate = subparsers.add_parser("simulate", help="simulate predictors over one benchmark")
     simulate.add_argument("benchmark", choices=BENCHMARK_ORDER)
     simulate.add_argument(
@@ -250,8 +270,19 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="executor backend: 'serial' runs in-process (no pickling), 'pool' "
         "starts a fresh worker pool per dispatch, 'persistent' keeps warm "
-        "worker processes across phases and runs (default: serial when "
-        "--jobs is 1, pool otherwise); results are identical across backends",
+        "worker processes across phases and runs, 'remote' dispatches to "
+        "'repro-vp worker serve' processes named by --workers (default: "
+        "serial when --jobs is 1, pool otherwise); results are identical "
+        "across backends",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="comma-separated addresses of running 'repro-vp worker serve' "
+        "processes; implies --backend remote, for which --jobs becomes the "
+        "per-worker in-flight limit",
     )
     parser.add_argument(
         "--cache-dir",
@@ -308,8 +339,44 @@ def _parse_age(text: str) -> float:
     return float(match.group(1)) * _AGE_UNITS[unit]
 
 
+def _parse_workers(text: str) -> tuple[str, ...]:
+    """Parse a comma-separated ``host:port[,host:port...]`` worker list."""
+    from repro.engine.remote import parse_worker_address
+
+    addresses = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not addresses:
+        raise argparse.ArgumentTypeError("empty --workers list")
+    for address in addresses:
+        try:
+            parse_worker_address(address)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+    return addresses
+
+
+def _apply_worker_arguments(args: argparse.Namespace) -> str | None:
+    """Reconcile ``--backend``/``--workers``; returns an error or ``None``.
+
+    ``--workers`` implies ``--backend remote`` (naming worker addresses
+    for a local backend is always a mistake), and the remote backend is
+    unusable without addresses, so both halves are validated here before
+    any engine is built.
+    """
+    if args.workers and args.backend is None:
+        args.backend = "remote"
+    if args.backend == "remote" and not args.workers:
+        return "--backend remote needs --workers HOST:PORT[,HOST:PORT...]"
+    if args.workers and args.backend != "remote":
+        return f"--workers does not apply to --backend {args.backend}"
+    return None
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     names = args.names or sorted(ALL_EXPERIMENTS)
+    error = _apply_worker_arguments(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     set_campaign_defaults(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -318,6 +385,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         cache_max_bytes=args.cache_max_bytes,
         cache_max_age=args.cache_max_age,
         backend=args.backend,
+        workers=args.workers,
     )
     scale = QUICK_SCALE if args.quick and args.scale is None else args.scale
     for name in names:
@@ -328,13 +396,23 @@ def _command_experiments(args: argparse.Namespace) -> int:
             return 2
         if "scale" in factory.__code__.co_varnames and scale is not None:
             kwargs["scale"] = scale
-        artifact = run_experiment(name, **kwargs)
+        try:
+            artifact = run_experiment(name, **kwargs)
+        except DispatchError as error:
+            # Same surface as campaign/sweep: a lost fleet is an
+            # operational error, not a crash; completed units are cached.
+            print(error, file=sys.stderr)
+            return 1
         print(artifact.render())
         print()
     return 0
 
 
 def _command_campaign(args: argparse.Namespace) -> int:
+    error = _apply_worker_arguments(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     try:
         for name in args.predictors:
             create_predictor(name)
@@ -345,9 +423,16 @@ def _command_campaign(args: argparse.Namespace) -> int:
     if scale is None:
         scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
     with _engine_from_arguments(args) as engine:
-        result = engine.run(
-            scale=scale, predictors=tuple(args.predictors), benchmarks=tuple(args.benchmarks)
-        )
+        try:
+            result = engine.run(
+                scale=scale, predictors=tuple(args.predictors), benchmarks=tuple(args.benchmarks)
+            )
+        except DispatchError as error:
+            # Backend infrastructure failed (e.g. the remote fleet was
+            # lost); completed units are already cached, so a rerun
+            # resumes where this one stopped.
+            print(error, file=sys.stderr)
+            return 1
     rows = []
     for benchmark in result.benchmarks():
         simulation = result.simulations[benchmark]
@@ -377,6 +462,7 @@ def _engine_from_arguments(args: argparse.Namespace) -> ExecutionEngine:
         cache_max_bytes=args.cache_max_bytes,
         cache_max_age=args.cache_max_age,
         backend=args.backend,
+        workers=args.workers,
     )
 
 
@@ -390,6 +476,10 @@ def _stats_line(stats) -> str:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    error = _apply_worker_arguments(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     predictors = (
         tuple(f"fcm{order}" for order in args.orders)
         if args.orders
@@ -418,6 +508,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
         except WorkloadError as error:
             print(error, file=sys.stderr)
             return 2
+        except DispatchError as error:
+            print(error, file=sys.stderr)
+            return 1
     if args.json:
         print(json.dumps(_sweep_as_json(result), indent=2))
         return 0
@@ -549,6 +642,41 @@ def _cache_verify(cache: ResultCache, args: argparse.Namespace) -> int:
     return 0 if args.remove else 1
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    if args.worker_command != "serve":
+        return 2
+    import signal
+
+    from repro.engine.remote import WorkerServer, parse_worker_address
+
+    try:
+        host, port = parse_worker_address(args.listen, allow_ephemeral=True)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    server = WorkerServer(host, port)
+    server.start()
+    # The parseable ready line CI and scripts wait for (port 0 resolves to
+    # the actual bound port here).
+    print(f"worker listening on {server.address}", flush=True)
+
+    def _stop(signum, frame):
+        server.stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    print(
+        f"worker stopped: {server.tasks_served} tasks over "
+        f"{server.connections_served} connections "
+        f"({server.handshakes_rejected} handshakes rejected)",
+        flush=True,
+    )
+    return 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark)
     trace = workload.trace(scale=args.scale, input_name=args.input)
@@ -598,6 +726,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_sweep(args)
     if args.command == "cache":
         return _command_cache(args)
+    if args.command == "worker":
+        return _command_worker(args)
     if args.command == "simulate":
         return _command_simulate(args)
     if args.command == "workloads":

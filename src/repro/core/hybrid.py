@@ -22,7 +22,7 @@ that construction:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.base import NO_PREDICTION, Prediction, ValuePredictor

@@ -50,6 +50,7 @@ from repro.engine.fingerprint import (
 )
 from repro.engine.phases import PhaseSpec, PhaseTask, run_phase
 from repro.engine.progress import ConsoleProgress, NullProgress, ProgressListener
+from repro.engine.remote import RemoteBackend, WorkerServer, parse_worker_address
 from repro.engine.scheduler import EngineStats, ExecutionEngine
 from repro.engine.sweeps import (
     SweepPoint,
@@ -77,6 +78,7 @@ __all__ = [
     "PhaseTask",
     "PoolBackend",
     "ProgressListener",
+    "RemoteBackend",
     "ResultCache",
     "SerialBackend",
     "SimulateTask",
@@ -86,8 +88,10 @@ __all__ = [
     "SweepSpec",
     "TraceTask",
     "VerifyReport",
+    "WorkerServer",
     "clear_sweep_cache",
     "execute_sweep",
+    "parse_worker_address",
     "resolve_backend",
     "run_phase",
     "run_sweep",

@@ -4,7 +4,9 @@ The phase executor (:mod:`repro.engine.phases`) is backend-agnostic: it
 hands an :class:`ExecutorBackend` a worker function plus a list of
 JSON-compatible payloads and expects the outcomes back **in input order**,
 with a completion callback per unit for live progress.  Three
-implementations cover the local spectrum:
+implementations cover the local spectrum (a fourth,
+:class:`repro.engine.remote.RemoteBackend`, dispatches over TCP to
+``repro-vp worker serve`` processes — see :mod:`repro.engine.remote`):
 
 * :class:`SerialBackend` — everything in-process, no pickling.  Payloads
   may carry live objects (``inline_payloads`` is always true), tracebacks
@@ -25,8 +27,9 @@ implementations cover the local spectrum:
 Because a backend only changes *where* a work unit executes — payloads and
 outcomes are the same JSON dicts everywhere — results are bit-identical
 across backends for every cache temperature; ``tests/engine/test_backends.py``
-pins that parity.  The ROADMAP's distributed executor slots in here as a
-fourth implementation without touching the task, phase or cache layers.
+and ``tests/engine/test_remote_backend.py`` pin that parity.  The remote
+backend slots in without touching the task, phase or cache layers —
+exactly the seam this module exists to provide.
 
 Worker processes are forked from the parent, so they inherit the predictor
 registry as of backend start-up.  A registry re-binding made *after* a
@@ -42,7 +45,7 @@ import weakref
 from typing import Callable, Sequence
 
 #: Names accepted by :func:`resolve_backend` and the CLI's ``--backend``.
-BACKEND_NAMES = ("serial", "pool", "persistent")
+BACKEND_NAMES = ("serial", "pool", "persistent", "remote")
 
 
 class ExecutorBackend:
@@ -201,15 +204,20 @@ class PersistentWorkerBackend(ExecutorBackend):
 
 
 def resolve_backend(
-    backend: "str | ExecutorBackend | None", jobs: int
+    backend: "str | ExecutorBackend | None",
+    jobs: int,
+    workers: "Sequence[str] | None" = None,
 ) -> ExecutorBackend:
     """Map an engine's ``backend`` argument to a backend instance.
 
     ``None`` preserves the engine's historical behaviour: in-process for
     ``jobs == 1``, a per-dispatch pool otherwise.  A string selects by
-    name (``"serial"``, ``"pool"``, ``"persistent"``), sized by ``jobs``;
-    an :class:`ExecutorBackend` instance is used as-is (the caller owns
-    its lifetime — one persistent backend can serve many engines).
+    name (``"serial"``, ``"pool"``, ``"persistent"``, ``"remote"``),
+    sized by ``jobs``; an :class:`ExecutorBackend` instance is used as-is
+    (the caller owns its lifetime — one persistent backend can serve many
+    engines).  The remote backend additionally needs ``workers``, the
+    ``host:port`` addresses of running ``repro-vp worker serve``
+    processes; ``jobs`` becomes its per-worker in-flight limit.
     """
     if isinstance(backend, ExecutorBackend):
         return backend
@@ -221,6 +229,16 @@ def resolve_backend(
         return PoolBackend(jobs)
     if backend == "persistent":
         return PersistentWorkerBackend(jobs)
+    if backend == "remote":
+        if not workers:
+            raise ValueError(
+                "the remote backend needs worker addresses "
+                "(--workers host:port[,host:port...])"
+            )
+        # Imported lazily: the remote module builds on this one.
+        from repro.engine.remote import RemoteBackend
+
+        return RemoteBackend(workers, in_flight=jobs)
     raise ValueError(
         f"unknown executor backend {backend!r} (expected one of {', '.join(BACKEND_NAMES)})"
     )

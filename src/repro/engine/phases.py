@@ -36,6 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping, Sequence
 
+from repro.errors import DispatchError
+
 
 @dataclass(frozen=True)
 class PhaseTask:
@@ -140,12 +142,22 @@ def run_phase(engine, spec: PhaseSpec) -> list[PhaseTask]:
         engine.progress.task_finished(spec.name, task.label, cached=True)
 
     inline = engine.backend.inline_payloads(len(pending))
-    outcomes = engine._run_tasks(
-        spec.worker,
-        spec.name,
-        [task.label for task in pending],
-        [task.build_payload(inline) for task in pending],
-    )
+    try:
+        outcomes = engine._run_tasks(
+            spec.worker,
+            spec.name,
+            [task.label for task in pending],
+            [task.build_payload(inline) for task in pending],
+        )
+    except DispatchError as error:
+        # Backend-infrastructure failures (remote workers lost, protocol
+        # violations) get the phase context stamped on before they reach
+        # the caller; the cache is untouched for the undispatched units,
+        # so a rerun resumes exactly where this phase stopped.
+        raise type(error)(
+            f"{spec.name} phase failed to dispatch {len(pending)} pending "
+            f"unit(s) on the {engine.backend.name!r} backend: {error}"
+        ) from error
     for task, outcome in zip(pending, outcomes):
         spec.accept_fresh(task.uid, outcome)
         engine.stats.record(spec.counter, cached=False)

@@ -104,11 +104,17 @@ class ExecutionEngine:
         degrades to best-effort instead of destroying fresh results.
     backend:
         Executor backend the phases dispatch on: a name (``"serial"``,
-        ``"pool"``, ``"persistent"``), an :class:`ExecutorBackend`
-        instance (shared across engines; the caller owns its lifetime),
-        or ``None`` for the historical default — serial when ``jobs == 1``,
-        a per-dispatch pool otherwise.  Results are bit-identical across
-        backends; see :mod:`repro.engine.backends`.
+        ``"pool"``, ``"persistent"``, ``"remote"``), an
+        :class:`ExecutorBackend` instance (shared across engines; the
+        caller owns its lifetime), or ``None`` for the historical
+        default — serial when ``jobs == 1``, a per-dispatch pool
+        otherwise.  Results are bit-identical across backends; see
+        :mod:`repro.engine.backends`.
+    workers:
+        ``host:port`` addresses of running ``repro-vp worker serve``
+        processes, required by (and only meaningful for) the ``remote``
+        backend, whose per-worker in-flight limit is ``jobs``.  See
+        :mod:`repro.engine.remote`.
     """
 
     def __init__(
@@ -121,6 +127,7 @@ class ExecutionEngine:
         cache_max_bytes: int | None = None,
         cache_max_age: float | None = None,
         backend: str | ExecutorBackend | None = None,
+        workers: Sequence[str] | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = (
@@ -133,7 +140,7 @@ class ExecutionEngine:
         if self.cache_format not in ("json", "binary"):
             raise ValueError(f"unknown cache format {cache_format!r}")
         self._owns_backend = not isinstance(backend, ExecutorBackend)
-        self.backend = resolve_backend(backend, self.jobs)
+        self.backend = resolve_backend(backend, self.jobs, workers=workers)
         self.stats = EngineStats()
         #: Report of the most recent post-run auto-GC pass (``None`` when
         #: no bounds are configured or no run has finished yet).

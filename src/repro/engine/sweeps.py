@@ -505,6 +505,7 @@ def run_sweep(
     progress=None,
     cache_format: str | None = None,
     backend=None,
+    workers=None,
 ) -> SweepResult:
     """Run one sweep on an engine built from the process-wide defaults.
 
@@ -512,7 +513,7 @@ def run_sweep(
     unset parameters fall back to the engine defaults configured through
     :func:`repro.simulation.campaign.set_campaign_defaults` (which the CLI
     wires to ``--jobs``/``--cache-dir``/``--cache-format``/``--backend``/
-    ``--no-cache``).  The memo keys on the spec *and* the predictors'
+    ``--workers``/``--no-cache``).  The memo keys on the spec *and* the predictors'
     configuration fingerprints, so re-binding a predictor name cannot
     serve stale results — the same policy the campaign memo follows.
     """
@@ -529,6 +530,7 @@ def run_sweep(
         progress=progress,
         cache_format=cache_format,
         backend=backend,
+        workers=workers,
     )
     try:
         result = engine.run_sweep(spec)

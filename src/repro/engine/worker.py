@@ -78,3 +78,26 @@ def execute_simulate_task(payload: dict) -> dict:
             )
     shard = simulate_shard(trace, name)
     return {"shard": shard_to_dict(shard)}
+
+
+#: Worker functions addressable *by name* over the remote worker protocol
+#: (:mod:`repro.engine.remote`).  A remote dispatch ships the registry key
+#: instead of a pickled callable, so engine and worker only have to agree
+#: on this mapping — which the handshake's ``TASK_FORMAT_VERSION`` pin
+#: already guarantees.
+WORKER_FUNCTIONS = {
+    "trace": execute_trace_task,
+    "simulate": execute_simulate_task,
+}
+
+
+def worker_function_name(function) -> str:
+    """The registry name a worker function travels under on the wire."""
+    for name, registered in WORKER_FUNCTIONS.items():
+        if registered is function:
+            return name
+    raise ValueError(
+        f"{function!r} is not a registered worker function; remote dispatch "
+        f"only executes the named entries of WORKER_FUNCTIONS "
+        f"({', '.join(sorted(WORKER_FUNCTIONS))})"
+    )

@@ -31,14 +31,13 @@ from repro.sequences.analysis import (
     prediction_outcomes,
     predictor_behaviour_table,
 )
-from repro.sequences.generators import SequenceClass, repeated_stride_sequence
+from repro.sequences.generators import repeated_stride_sequence
 from repro.simulation.campaign import DEFAULT_SCALE, CampaignResult, run_campaign
 from repro.simulation.correlation import SUBSET_LABELS, average_correlation, correlation_breakdown
 from repro.simulation.improvement import combined_improvement_curves_by_category
 from repro.simulation.metrics import build_accuracy_report
 from repro.simulation.sensitivity import flag_sensitivity, input_sensitivity, order_sensitivity
 from repro.simulation.value_profile import average_value_profiles, bucket_labels, value_profile
-from repro.workloads.suite import BENCHMARK_ORDER
 
 
 @dataclass

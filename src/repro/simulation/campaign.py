@@ -71,6 +71,7 @@ class EngineDefaults:
     cache_max_bytes: int | None = None
     cache_max_age: float | None = None
     backend: str | None = None
+    workers: tuple[str, ...] | None = None
 
 
 _CACHE: dict[tuple, CampaignResult] = {}
@@ -98,14 +99,15 @@ def set_campaign_defaults(
     cache_max_bytes: int | None = None,
     cache_max_age: float | None = None,
     backend: str | None = None,
+    workers: tuple[str, ...] | None = None,
 ) -> None:
     """Configure the engine used by default for subsequent campaigns/sweeps.
 
     The CLI routes ``--jobs``/``--cache-dir``/``--no-cache``/
     ``--cache-format``/``--cache-max-bytes``/``--cache-max-age``/
-    ``--backend`` through here so that the experiment entry points — whose
-    signatures only carry ``scale`` — still execute on the configured
-    engine.
+    ``--backend``/``--workers`` through here so that the experiment entry
+    points — whose signatures only carry ``scale`` — still execute on the
+    configured engine.
     """
     if jobs is not None:
         _ENGINE_DEFAULTS.jobs = max(1, int(jobs))
@@ -121,6 +123,8 @@ def set_campaign_defaults(
         _ENGINE_DEFAULTS.cache_max_age = cache_max_age
     if backend is not None:
         _ENGINE_DEFAULTS.backend = backend
+    if workers is not None:
+        _ENGINE_DEFAULTS.workers = tuple(workers)
 
 
 def reset_campaign_defaults() -> None:
@@ -132,6 +136,7 @@ def reset_campaign_defaults() -> None:
     _ENGINE_DEFAULTS.cache_max_bytes = None
     _ENGINE_DEFAULTS.cache_max_age = None
     _ENGINE_DEFAULTS.backend = None
+    _ENGINE_DEFAULTS.workers = None
     for shared in _SHARED_BACKENDS.values():
         shared.close()
     _SHARED_BACKENDS.clear()
@@ -149,20 +154,23 @@ def build_engine(
     progress: ProgressListener | None = None,
     cache_format: str | None = None,
     backend: str | None = None,
+    workers: tuple[str, ...] | None = None,
 ):
     """Construct an :class:`ExecutionEngine` from the process-wide defaults.
 
     Used by :func:`run_campaign` and :func:`repro.engine.sweeps.run_sweep`
     so both entry points resolve unset parameters — including the
-    post-run GC bounds and the executor backend — identically.  A
-    ``"persistent"`` backend resolves to one process-wide shared instance
-    per ``jobs`` value, so its warm workers survive across the engines
-    these façades build.
+    post-run GC bounds and the executor backend — identically.  The
+    ``"persistent"`` and ``"remote"`` backends resolve to one
+    process-wide shared instance per configuration, so warm local workers
+    (and handshaken remote connections) survive across the engines these
+    façades build.
     """
     from repro.engine.scheduler import ExecutionEngine
 
     jobs = _ENGINE_DEFAULTS.jobs if jobs is None else jobs
     backend = _ENGINE_DEFAULTS.backend if backend is None else backend
+    workers = _ENGINE_DEFAULTS.workers if workers is None else tuple(workers)
     if backend == "persistent":
         key = (backend, jobs)
         shared = _SHARED_BACKENDS.get(key)
@@ -170,6 +178,15 @@ def build_engine(
             from repro.engine.backends import PersistentWorkerBackend
 
             shared = PersistentWorkerBackend(jobs)
+            _SHARED_BACKENDS[key] = shared
+        backend = shared
+    elif backend == "remote":
+        key = (backend, jobs, workers)
+        shared = _SHARED_BACKENDS.get(key)
+        if shared is None:
+            from repro.engine.backends import resolve_backend
+
+            shared = resolve_backend("remote", jobs, workers=workers)
             _SHARED_BACKENDS[key] = shared
         backend = shared
     return ExecutionEngine(
@@ -181,6 +198,7 @@ def build_engine(
         cache_max_bytes=_ENGINE_DEFAULTS.cache_max_bytes,
         cache_max_age=_ENGINE_DEFAULTS.cache_max_age,
         backend=backend,
+        workers=workers,
     )
 
 
@@ -205,12 +223,13 @@ def run_campaign(
     progress: ProgressListener | None = None,
     cache_format: str | None = None,
     backend: str | None = None,
+    workers: tuple[str, ...] | None = None,
 ) -> CampaignResult:
     """Trace every benchmark and simulate every predictor over each trace.
 
     ``use_cache`` governs both the in-process memo and the on-disk cache;
-    ``jobs``/``cache_dir``/``backend`` default to the process-wide engine
-    settings (see :func:`set_campaign_defaults`).
+    ``jobs``/``cache_dir``/``backend``/``workers`` default to the
+    process-wide engine settings (see :func:`set_campaign_defaults`).
     """
     from repro.engine.fingerprint import predictors_fingerprint
 
@@ -231,6 +250,7 @@ def run_campaign(
         progress=progress,
         cache_format=cache_format,
         backend=backend,
+        workers=workers,
     )
     try:
         result = engine.run(

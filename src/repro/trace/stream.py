@@ -9,7 +9,7 @@ and the number of dynamic instructions retired in total (needed to report the
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import TraceError

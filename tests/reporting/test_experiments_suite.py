@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.isa.opcodes import Category
 from repro.reporting.experiments import (
     figure3,
     figure4_7,

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.registry import PAPER_PREDICTORS
 from repro.simulation.campaign import QUICK_SCALE, clear_campaign_cache, run_campaign
 from repro.simulation.sensitivity import flag_sensitivity, input_sensitivity, order_sensitivity

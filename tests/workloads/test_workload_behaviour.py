@@ -108,7 +108,16 @@ class TestPerWorkloadCharacter:
         assert increasing_pcs >= 1
 
     def test_compress_hash_values_are_bounded_by_table_size(self):
-        from repro.workloads.compress import HASH_MASK
+        from repro.workloads.compress import HASH_MASK, HTAB_BASE
+
         trace = get_workload("compress").trace(scale=SCALE)
-        # No probe address may exceed the hash table bounds.
         assert len(trace) > 0
+        # At least one static PC (the probe-address computation) produces
+        # only addresses inside the hash table's word-aligned bounds.
+        probe_streams = [
+            values
+            for values in trace.values_by_pc().values()
+            if len(values) > 4
+            and all(HTAB_BASE <= value <= HTAB_BASE + HASH_MASK for value in values)
+        ]
+        assert probe_streams
