@@ -18,6 +18,10 @@ Subcommands
     (``worker serve --listen HOST:PORT``); engines dispatch to it with
     ``--backend remote --workers HOST:PORT[,HOST:PORT...]`` (see the
     "Distributed execution" section of ``docs/architecture.md``).
+``inspect``
+    Summarize a recorded telemetry run directory (written by
+    ``--telemetry-dir``): phase breakdown, slowest tasks, cache hit
+    ratio, per-worker utilization (see ``docs/observability.md``).
 ``simulate``
     Run a chosen set of predictors over one benchmark and print accuracy.
 ``workloads`` / ``predictors``
@@ -239,6 +243,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="address to listen on (default 127.0.0.1:0: loopback, free port; "
         "the chosen address is printed on startup)",
     )
+    worker_serve.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        metavar="N",
+        help="print a serving-stats line (tasks, bytes, uptime) to stderr "
+        "every N seconds (default: silent)",
+    )
+
+    inspect = subparsers.add_parser(
+        "inspect",
+        help="summarize a telemetry run directory written by --telemetry-dir",
+    )
+    inspect.add_argument(
+        "run_dir",
+        help="run directory holding manifest.json and metrics.jsonl",
+    )
+    inspect.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full summary as JSON instead of tables",
+    )
+    inspect.add_argument(
+        "--slowest",
+        type=int,
+        default=10,
+        metavar="N",
+        help="number of slowest tasks to list (default 10)",
+    )
 
     simulate = subparsers.add_parser("simulate", help="simulate predictors over one benchmark")
     simulate.add_argument("benchmark", choices=BENCHMARK_ORDER)
@@ -315,6 +348,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="AGE",
         help="auto-GC entries idle longer than AGE after the run (e.g. 30m, 7d)",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="record run telemetry (manifest.json + metrics.jsonl) into DIR; "
+        "summarize it later with 'repro-vp inspect DIR' "
+        "(results are identical with or without telemetry)",
+    )
 
 
 _SIZE_UNITS = {"": 1, "B": 1, "KB": 1024, "MB": 1024**2, "GB": 1024**3}
@@ -371,12 +412,29 @@ def _apply_worker_arguments(args: argparse.Namespace) -> str | None:
     return None
 
 
+def _telemetry_from_arguments(args: argparse.Namespace, command: str):
+    """Build the run's telemetry sink from ``--telemetry-dir`` (or ``None``).
+
+    The caller owns the sink's lifetime: close it after the run so the
+    counters flush and the manifest gets its ``finished_wall`` stamp.
+    """
+    if getattr(args, "telemetry_dir", None) is None:
+        return None
+    from repro.engine.telemetry import RunTelemetry
+
+    telemetry = RunTelemetry(args.telemetry_dir, command=command)
+    if args.workers:
+        telemetry.annotate(workers=list(args.workers))
+    return telemetry
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     names = args.names or sorted(ALL_EXPERIMENTS)
     error = _apply_worker_arguments(args)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
+    telemetry = _telemetry_from_arguments(args, "experiments")
     set_campaign_defaults(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -386,25 +444,30 @@ def _command_experiments(args: argparse.Namespace) -> int:
         cache_max_age=args.cache_max_age,
         backend=args.backend,
         workers=args.workers,
+        telemetry=telemetry,
     )
     scale = QUICK_SCALE if args.quick and args.scale is None else args.scale
-    for name in names:
-        kwargs = {}
-        factory = ALL_EXPERIMENTS.get(name)
-        if factory is None:
-            print(f"unknown experiment {name!r}", file=sys.stderr)
-            return 2
-        if "scale" in factory.__code__.co_varnames and scale is not None:
-            kwargs["scale"] = scale
-        try:
-            artifact = run_experiment(name, **kwargs)
-        except DispatchError as error:
-            # Same surface as campaign/sweep: a lost fleet is an
-            # operational error, not a crash; completed units are cached.
-            print(error, file=sys.stderr)
-            return 1
-        print(artifact.render())
-        print()
+    try:
+        for name in names:
+            kwargs = {}
+            factory = ALL_EXPERIMENTS.get(name)
+            if factory is None:
+                print(f"unknown experiment {name!r}", file=sys.stderr)
+                return 2
+            if "scale" in factory.__code__.co_varnames and scale is not None:
+                kwargs["scale"] = scale
+            try:
+                artifact = run_experiment(name, **kwargs)
+            except DispatchError as error:
+                # Same surface as campaign/sweep: a lost fleet is an
+                # operational error, not a crash; completed units are cached.
+                print(error, file=sys.stderr)
+                return 1
+            print(artifact.render())
+            print()
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     return 0
 
 
@@ -422,17 +485,22 @@ def _command_campaign(args: argparse.Namespace) -> int:
     scale = args.scale
     if scale is None:
         scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
-    with _engine_from_arguments(args) as engine:
-        try:
-            result = engine.run(
-                scale=scale, predictors=tuple(args.predictors), benchmarks=tuple(args.benchmarks)
-            )
-        except DispatchError as error:
-            # Backend infrastructure failed (e.g. the remote fleet was
-            # lost); completed units are already cached, so a rerun
-            # resumes where this one stopped.
-            print(error, file=sys.stderr)
-            return 1
+    telemetry = _telemetry_from_arguments(args, "campaign")
+    try:
+        with _engine_from_arguments(args, telemetry) as engine:
+            try:
+                result = engine.run(
+                    scale=scale, predictors=tuple(args.predictors), benchmarks=tuple(args.benchmarks)
+                )
+            except DispatchError as error:
+                # Backend infrastructure failed (e.g. the remote fleet was
+                # lost); completed units are already cached, so a rerun
+                # resumes where this one stopped.
+                print(error, file=sys.stderr)
+                return 1
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     rows = []
     for benchmark in result.benchmarks():
         simulation = result.simulations[benchmark]
@@ -451,7 +519,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
-def _engine_from_arguments(args: argparse.Namespace) -> ExecutionEngine:
+def _engine_from_arguments(args: argparse.Namespace, telemetry=None) -> ExecutionEngine:
     """Build the execution engine shared by ``campaign`` and ``sweep``."""
     return ExecutionEngine(
         jobs=args.jobs,
@@ -463,16 +531,31 @@ def _engine_from_arguments(args: argparse.Namespace) -> ExecutionEngine:
         cache_max_age=args.cache_max_age,
         backend=args.backend,
         workers=args.workers,
+        telemetry=telemetry,
     )
 
 
 def _stats_line(stats) -> str:
-    """The one-line run summary CI greps for (shared across subcommands)."""
-    return (
+    """The one-line run summary CI greps for (shared across subcommands).
+
+    Extensions append after the greppable prefix — the ``traces: ...;
+    simulations: ...`` phrasing is load-bearing for CI's cache-reuse
+    assertions and must not change shape.
+    """
+    line = (
         f"traces: {stats.traces_computed} computed, {stats.traces_cached} cached; "
         f"simulations: {stats.simulations_computed} computed, "
         f"{stats.simulations_cached} cached; wall time {stats.total_seconds:.2f}s"
     )
+    line += (
+        f" (trace {stats.trace_seconds:.2f}s, simulate {stats.simulate_seconds:.2f}s)"
+    )
+    if stats.cache_hit_bytes or stats.cache_write_bytes:
+        line += (
+            f"; cache {stats.cache_hit_bytes} B read, "
+            f"{stats.cache_write_bytes} B written"
+        )
+    return line
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
@@ -502,15 +585,20 @@ def _command_sweep(args: argparse.Namespace) -> int:
         predictors=predictors,
         benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
     )
-    with _engine_from_arguments(args) as engine:
-        try:
-            result = engine.run_sweep(spec)
-        except WorkloadError as error:
-            print(error, file=sys.stderr)
-            return 2
-        except DispatchError as error:
-            print(error, file=sys.stderr)
-            return 1
+    telemetry = _telemetry_from_arguments(args, "sweep")
+    try:
+        with _engine_from_arguments(args, telemetry) as engine:
+            try:
+                result = engine.run_sweep(spec)
+            except WorkloadError as error:
+                print(error, file=sys.stderr)
+                return 2
+            except DispatchError as error:
+                print(error, file=sys.stderr)
+                return 1
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     if args.json:
         print(json.dumps(_sweep_as_json(result), indent=2))
         return 0
@@ -579,6 +667,10 @@ def _sweep_as_json(result) -> dict:
             "simulations_computed": stats.simulations_computed,
             "simulations_cached": stats.simulations_cached,
             "total_seconds": stats.total_seconds,
+            "trace_seconds": stats.trace_seconds,
+            "simulate_seconds": stats.simulate_seconds,
+            "cache_hit_bytes": stats.cache_hit_bytes,
+            "cache_write_bytes": stats.cache_write_bytes,
         },
     }
 
@@ -665,7 +757,7 @@ def _command_worker(args: argparse.Namespace) -> int:
 
     signal.signal(signal.SIGTERM, _stop)
     try:
-        server.serve_forever()
+        server.serve_forever(stats_interval=args.stats_interval)
     except KeyboardInterrupt:
         server.stop()
     print(
@@ -674,6 +766,130 @@ def _command_worker(args: argparse.Namespace) -> int:
         f"({server.handshakes_rejected} handshakes rejected)",
         flush=True,
     )
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    from repro.engine.telemetry import summarize_run
+
+    try:
+        summary = summarize_run(args.run_dir)
+    except FileNotFoundError as error:
+        print(f"not a telemetry run directory: {error}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as error:
+        print(f"unreadable telemetry run: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+        return 0
+
+    manifest = summary["manifest"]
+    print(f"run {manifest.get('run_id')} — {manifest.get('command') or 'unknown command'}")
+    for field in ("created", "backend", "jobs", "cache_dir", "package_version"):
+        value = manifest.get(field)
+        if value is not None:
+            print(f"  {field}: {value}")
+    if manifest.get("workers"):
+        print(f"  workers: {', '.join(manifest['workers'])}")
+
+    if summary["phases"]:
+        rows = [
+            [
+                phase.get("phase", "?"),
+                phase.get("backend", "?"),
+                phase.get("total", 0),
+                phase.get("cached", 0),
+                phase.get("computed", 0),
+                phase.get("seconds", 0.0),
+            ]
+            for phase in summary["phases"]
+        ]
+        print()
+        print(
+            format_table(
+                ["phase", "backend", "total", "cached", "computed", "seconds"],
+                rows,
+                title="Phases",
+            )
+        )
+
+    slowest = summary["tasks"][: max(0, args.slowest)]
+    if slowest:
+        rows = [
+            [
+                task.get("phase", "?"),
+                task.get("label", "?"),
+                task.get("worker_pid", ""),
+                task.get("seconds", 0.0),
+            ]
+            for task in slowest
+        ]
+        print()
+        print(
+            format_table(
+                ["phase", "task", "worker pid", "execute seconds"],
+                rows,
+                title=f"Slowest tasks (top {len(slowest)} of {len(summary['tasks'])})",
+            )
+        )
+
+    cache = summary["cache"]
+    print()
+    if cache["hits"] or cache["misses"] or cache["writes"]:
+        ratio = cache["hit_ratio"]
+        print(
+            f"cache: {cache['hits']} hit(s) / {cache['misses']} miss(es)"
+            + (f" ({ratio:.0%} hit ratio)" if ratio is not None else "")
+            + f", {cache['hit_bytes']} B read, {cache['writes']} write(s), "
+            f"{cache['write_bytes']} B written"
+        )
+        if cache["gc_removed"]:
+            print(
+                f"cache gc: {cache['gc_removed']} entries removed, "
+                f"{cache['gc_freed_bytes']} B freed"
+            )
+    else:
+        print("cache: no activity recorded")
+
+    if summary["workers"]:
+        rows = [
+            [
+                worker.get("worker", "?"),
+                worker.get("pid", ""),
+                worker.get("tasks", 0),
+                worker.get("busy_seconds", 0.0),
+                f"{worker.get('utilization', 0.0):.0%}",
+                worker.get("peak_in_flight", 0),
+                worker.get("bytes_sent", 0),
+                worker.get("bytes_received", 0),
+            ]
+            for worker in summary["workers"]
+        ]
+        print()
+        print(
+            format_table(
+                [
+                    "worker",
+                    "pid",
+                    "tasks",
+                    "busy s",
+                    "util",
+                    "peak in-flight",
+                    "B sent",
+                    "B recv",
+                ],
+                rows,
+                title="Remote workers (per dispatch)",
+            )
+        )
+    if summary["redispatches"]:
+        print()
+        for event in summary["redispatches"]:
+            print(
+                f"re-dispatch: {event.get('units', 0)} unit(s) from "
+                f"{event.get('worker', '?')} ({event.get('reason', 'unknown')})"
+            )
     return 0
 
 
@@ -728,6 +944,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_cache(args)
     if args.command == "worker":
         return _command_worker(args)
+    if args.command == "inspect":
+        return _command_inspect(args)
     if args.command == "simulate":
         return _command_simulate(args)
     if args.command == "workloads":

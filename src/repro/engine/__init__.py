@@ -62,6 +62,16 @@ from repro.engine.sweeps import (
     run_sweep,
 )
 from repro.engine.tasks import SimulateTask, TraceTask
+from repro.engine.telemetry import (
+    NULL_TELEMETRY,
+    TELEMETRY_KEY,
+    NullTelemetry,
+    RunTelemetry,
+    Telemetry,
+    read_manifest,
+    read_metrics,
+    summarize_run,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -72,7 +82,9 @@ __all__ = [
     "ExecutorBackend",
     "GCReport",
     "KindStats",
+    "NULL_TELEMETRY",
     "NullProgress",
+    "NullTelemetry",
     "PersistentWorkerBackend",
     "PhaseSpec",
     "PhaseTask",
@@ -86,15 +98,21 @@ __all__ = [
     "SweepPointResult",
     "SweepResult",
     "SweepSpec",
+    "TELEMETRY_KEY",
+    "Telemetry",
+    "RunTelemetry",
     "TraceTask",
     "VerifyReport",
     "WorkerServer",
     "clear_sweep_cache",
     "execute_sweep",
     "parse_worker_address",
+    "read_manifest",
+    "read_metrics",
     "resolve_backend",
     "run_phase",
     "run_sweep",
+    "summarize_run",
     "decode_cache_entry",
     "encode_cache_entry",
     "key_digest",

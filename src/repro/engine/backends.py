@@ -41,8 +41,11 @@ loudly rather than simulating a stale configuration.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import weakref
 from typing import Callable, Sequence
+
+from repro.engine.telemetry import NULL_TELEMETRY
 
 #: Names accepted by :func:`resolve_backend` and the CLI's ``--backend``.
 BACKEND_NAMES = ("serial", "pool", "persistent", "remote")
@@ -55,10 +58,19 @@ class ExecutorBackend:
     scheduler whether payloads for an upcoming dispatch may carry live
     (unpicklable) objects, and :meth:`close` releases any held resources.
     Backends are context managers (``close`` on exit).
+
+    ``telemetry`` is stamped by the engine before each dispatch (a shared
+    backend instance may serve several engines with different sinks);
+    backends emit a ``dispatch`` span per :meth:`map` call and never
+    change outcomes based on it.
     """
 
     #: Human-readable backend identifier (the CLI flag value).
     name = "abstract"
+
+    #: Telemetry sink for dispatch spans; engines overwrite this before
+    #: every dispatch, and the null default makes standalone use cheap.
+    telemetry = NULL_TELEMETRY
 
     def inline_payloads(self, task_count: int) -> bool:
         """Whether a dispatch of ``task_count`` units runs in-process.
@@ -128,7 +140,8 @@ class SerialBackend(ExecutorBackend):
         return True
 
     def map(self, function, payloads, on_result=None):
-        return _map_serial(function, payloads, on_result)
+        with self.telemetry.span("dispatch", backend=self.name, units=len(payloads)):
+            return _map_serial(function, payloads, on_result)
 
 
 class PoolBackend(ExecutorBackend):
@@ -149,10 +162,21 @@ class PoolBackend(ExecutorBackend):
 
     def map(self, function, payloads, on_result=None):
         if self.inline_payloads(len(payloads)):
-            return _map_serial(function, payloads, on_result)
+            with self.telemetry.span(
+                "dispatch", backend=self.name, units=len(payloads), inline=True
+            ):
+                return _map_serial(function, payloads, on_result)
         workers = min(self.jobs, len(payloads))
-        with multiprocessing.get_context().Pool(processes=workers) as pool:
-            return _map_pool(pool, function, payloads, on_result)
+        with self.telemetry.span(
+            "dispatch", backend=self.name, units=len(payloads), workers=workers
+        ) as span:
+            pool_started = time.perf_counter()
+            with multiprocessing.get_context().Pool(processes=workers) as pool:
+                # Startup is the pool backend's recurring cost (fork +
+                # interpreter import per dispatch) — the number the
+                # persistent backend exists to amortise away.
+                span.set(startup_seconds=time.perf_counter() - pool_started)
+                return _map_pool(pool, function, payloads, on_result)
 
 
 def _shutdown_pool(pool) -> None:
@@ -194,7 +218,15 @@ class PersistentWorkerBackend(ExecutorBackend):
     def map(self, function, payloads, on_result=None):
         if not payloads:
             return []
-        return _map_pool(self._ensure_pool(), function, payloads, on_result)
+        warm = self._pool is not None
+        with self.telemetry.span(
+            "dispatch",
+            backend=self.name,
+            units=len(payloads),
+            workers=self.jobs,
+            warm=warm,
+        ):
+            return _map_pool(self._ensure_pool(), function, payloads, on_result)
 
     def close(self) -> None:
         if self._finalizer is not None:

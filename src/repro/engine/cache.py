@@ -36,6 +36,7 @@ from repro.engine.codecs import (
     payload_trace_text,
 )
 from repro.engine.fingerprint import key_digest
+from repro.engine.telemetry import NULL_TELEMETRY
 
 #: Entry filename extensions, in the order ``get`` probes them.  Binary
 #: first: when both forms of one digest exist, the compact one wins.
@@ -107,6 +108,13 @@ class ResultCache:
         self.max_age = max_age
         self.hits = 0
         self.misses = 0
+        #: Byte traffic served from / written to the store this process.
+        self.hit_bytes = 0
+        self.write_bytes = 0
+        #: Telemetry sink for hit/miss/write/GC accounting; the engine
+        #: stamps its own sink here, and the null default keeps standalone
+        #: cache use (CLI ``cache`` subcommands, tests) free of overhead.
+        self.telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------ #
     # Storage
@@ -133,12 +141,21 @@ class ResultCache:
             payload = self._read_entry(path)
             if payload is not None:
                 self.hits += 1
+                size = 0
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    pass
+                self.hit_bytes += size
+                self.telemetry.count("cache.hit")
+                self.telemetry.count("cache.hit_bytes", size)
                 try:
                     os.utime(path)
                 except OSError:
                     pass
                 return payload
         self.misses += 1
+        self.telemetry.count("cache.miss")
         return None
 
     def put(self, kind: str, key: Mapping, payload: dict, format: str = "json") -> Path:
@@ -165,6 +182,14 @@ class ResultCache:
             with open(temporary, "w", encoding="utf-8") as handle:
                 json.dump({"key": dict(key), "payload": payload}, handle)
         os.replace(temporary, path)
+        size = 0
+        try:
+            size = path.stat().st_size
+        except OSError:
+            pass
+        self.write_bytes += size
+        self.telemetry.count("cache.write")
+        self.telemetry.count("cache.write_bytes", size)
         for suffix in _ENTRY_SUFFIXES:
             if suffix != path.suffix:
                 sibling = path.with_suffix(suffix)
@@ -292,6 +317,16 @@ class ResultCache:
         self._prune_empty_directories()
         report.remaining_entries = len(entries) - report.removed_entries
         report.remaining_bytes = total_bytes - report.freed_bytes
+        if report.removed_entries:
+            self.telemetry.event(
+                "cache.gc",
+                removed=report.removed_entries,
+                freed_bytes=report.freed_bytes,
+                remaining_entries=report.remaining_entries,
+                remaining_bytes=report.remaining_bytes,
+            )
+            self.telemetry.count("cache.gc_removed", report.removed_entries)
+            self.telemetry.count("cache.gc_freed_bytes", report.freed_bytes)
         return report
 
     def clear(self) -> int:

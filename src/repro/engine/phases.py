@@ -33,9 +33,11 @@ input order.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping, Sequence
 
+from repro.engine.telemetry import TELEMETRY_KEY
 from repro.errors import DispatchError
 
 
@@ -109,58 +111,86 @@ def run_phase(engine, spec: PhaseSpec) -> list[PhaseTask]:
     """Execute one phase on ``engine``; returns the tasks actually computed.
 
     ``engine`` supplies the shared machinery: ``cache`` (may be ``None``),
-    ``cache_format``, ``progress``, ``stats`` and the ``backend`` the
-    dispatch runs on (via ``ExecutionEngine._run_tasks``).  Results are
+    ``cache_format``, ``progress``, ``stats``, ``telemetry`` and the
+    ``backend`` the dispatch runs on (via ``ExecutionEngine._run_tasks``).
+    The whole phase runs under a ``phase`` telemetry span; each computed
+    unit's worker-side sidecar (:data:`~repro.engine.telemetry.TELEMETRY_KEY`)
+    is stripped from the outcome — before decoding and caching, so entries
+    stay byte-identical whether telemetry is on or off — and re-emitted as
+    a ``task`` span carrying the worker's own execute time.  Results are
     bit-identical for every backend and cache temperature: the protocol
     only decides *where* each unit executes and *which* units execute at
     all, never what they compute.
     """
     cache = engine.cache
-    pending: list[PhaseTask] = []
-    hits: list[PhaseTask] = []
-    for task in spec.tasks:
-        cached = cache.get(spec.kind, task.cache_key) if cache else None
-        usable = False
-        if cached is not None:
-            try:
-                usable = spec.accept_cached(task.uid, cached)
-            except Exception:
-                usable = False
-        if usable:
-            engine.stats.record(spec.counter, cached=True)
-            hits.append(task)
-        else:
-            pending.append(task)
+    telemetry = engine.telemetry
+    phase_started_perf = time.perf_counter()
+    with telemetry.span(
+        "phase", phase=spec.name, backend=engine.backend.name
+    ) as phase_span:
+        pending: list[PhaseTask] = []
+        hits: list[PhaseTask] = []
+        for task in spec.tasks:
+            cached = cache.get(spec.kind, task.cache_key) if cache else None
+            usable = False
+            if cached is not None:
+                try:
+                    usable = spec.accept_cached(task.uid, cached)
+                except Exception:
+                    usable = False
+            if usable:
+                engine.stats.record(spec.counter, cached=True)
+                hits.append(task)
+            else:
+                pending.append(task)
 
-    total = len(spec.tasks) if spec.total is None else spec.total
-    engine.progress.phase_started(
-        spec.name, total, spec.presatisfied_count + len(hits)
-    )
-    for label in spec.presatisfied_labels:
-        engine.progress.task_finished(spec.name, label, cached=True)
-    for task in hits:
-        engine.progress.task_finished(spec.name, task.label, cached=True)
-
-    inline = engine.backend.inline_payloads(len(pending))
-    try:
-        outcomes = engine._run_tasks(
-            spec.worker,
-            spec.name,
-            [task.label for task in pending],
-            [task.build_payload(inline) for task in pending],
+        total = len(spec.tasks) if spec.total is None else spec.total
+        phase_span.set(
+            total=total,
+            cached=spec.presatisfied_count + len(hits),
+            computed=len(pending),
         )
-    except DispatchError as error:
-        # Backend-infrastructure failures (remote workers lost, protocol
-        # violations) get the phase context stamped on before they reach
-        # the caller; the cache is untouched for the undispatched units,
-        # so a rerun resumes exactly where this phase stopped.
-        raise type(error)(
-            f"{spec.name} phase failed to dispatch {len(pending)} pending "
-            f"unit(s) on the {engine.backend.name!r} backend: {error}"
-        ) from error
-    for task, outcome in zip(pending, outcomes):
-        spec.accept_fresh(task.uid, outcome)
-        engine.stats.record(spec.counter, cached=False)
-        if cache:
-            cache.put(spec.kind, task.cache_key, outcome, format=engine.cache_format)
+        engine.progress.phase_started(
+            spec.name, total, spec.presatisfied_count + len(hits)
+        )
+        for label in spec.presatisfied_labels:
+            engine.progress.task_finished(spec.name, label, cached=True)
+        for task in hits:
+            engine.progress.task_finished(spec.name, task.label, cached=True)
+
+        inline = engine.backend.inline_payloads(len(pending))
+        try:
+            outcomes = engine._run_tasks(
+                spec.worker,
+                spec.name,
+                [task.label for task in pending],
+                [task.build_payload(inline) for task in pending],
+            )
+        except DispatchError as error:
+            # Backend-infrastructure failures (remote workers lost, protocol
+            # violations) get the phase context stamped on before they reach
+            # the caller; the cache is untouched for the undispatched units,
+            # so a rerun resumes exactly where this phase stopped.
+            raise type(error)(
+                f"{spec.name} phase failed to dispatch {len(pending)} pending "
+                f"unit(s) on the {engine.backend.name!r} backend: {error}"
+            ) from error
+        for task, outcome in zip(pending, outcomes):
+            # The observability sidecar never reaches the decoder or the
+            # cache: entries stay byte-identical with telemetry on or off.
+            sidecar = outcome.pop(TELEMETRY_KEY, None) if isinstance(outcome, dict) else None
+            if sidecar:
+                telemetry.span_record(
+                    "task",
+                    sidecar.get("execute_seconds", 0.0),
+                    phase=spec.name,
+                    label=task.label,
+                    worker_pid=sidecar.get("pid"),
+                    function=sidecar.get("function"),
+                )
+            spec.accept_fresh(task.uid, outcome)
+            engine.stats.record(spec.counter, cached=False)
+            if cache:
+                cache.put(spec.kind, task.cache_key, outcome, format=engine.cache_format)
+    engine.stats.record_seconds(spec.counter, time.perf_counter() - phase_started_perf)
     return pending

@@ -54,8 +54,19 @@ class ConsoleProgress(ProgressListener):
         self._emit(f"[{phase}] {self._done}/{self._total} {label} ({source})")
 
     def campaign_finished(self, stats) -> None:
-        self._emit(
+        line = (
             f"[done] traces {stats.traces_computed} computed / {stats.traces_cached} cached; "
             f"simulations {stats.simulations_computed} computed / "
             f"{stats.simulations_cached} cached; {stats.total_seconds:.2f}s"
         )
+        # Phase timing and cache traffic exist on EngineStats since the
+        # telemetry layer landed; getattr keeps older stats objects valid.
+        trace_seconds = getattr(stats, "trace_seconds", 0.0)
+        simulate_seconds = getattr(stats, "simulate_seconds", 0.0)
+        if trace_seconds or simulate_seconds:
+            line += f" (trace {trace_seconds:.2f}s, simulate {simulate_seconds:.2f}s)"
+        hit_bytes = getattr(stats, "cache_hit_bytes", 0)
+        write_bytes = getattr(stats, "cache_write_bytes", 0)
+        if hit_bytes or write_bytes:
+            line += f"; cache {hit_bytes} B read, {write_bytes} B written"
+        self._emit(line)

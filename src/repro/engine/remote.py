@@ -36,8 +36,10 @@ Wire protocol (normative; also documented in ``docs/architecture.md``):
   {...}}`` frames name an entry of ``WORKER_FUNCTIONS`` (functions cross
   the wire by registry name, never by pickle); the worker replies, in
   request order per connection, with ``{"type": "result", "id": N,
-  "outcome": {...}}`` or — when the task itself raised — ``{"type":
-  "error", "id": N, "error": msg, "traceback": text}``.
+  "outcome": {...}, "seconds": t}`` — ``seconds`` being the worker-side
+  execute time on its own monotonic clock, consumed by utilization
+  telemetry only — or, when the task itself raised, ``{"type": "error",
+  "id": N, "error": msg, "traceback": text}``.
 
 Failure semantics: a lost worker (connection error, truncated or
 undecodable frame, out-of-sequence reply) has its in-flight units pushed
@@ -58,7 +60,9 @@ import json
 import os
 import socket
 import struct
+import sys
 import threading
+import time
 import traceback
 from collections import deque
 from typing import Callable, Sequence
@@ -112,10 +116,12 @@ def decode_wire_value(value):
 # --------------------------------------------------------------------------- #
 # Framing
 # --------------------------------------------------------------------------- #
-def send_frame(sock: socket.socket, message: dict) -> None:
-    """Send one length-prefixed JSON frame."""
+def send_frame(sock: socket.socket, message: dict) -> int:
+    """Send one length-prefixed JSON frame; returns the bytes put on the wire."""
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    sock.sendall(_LENGTH_STRUCT.pack(len(body)) + body)
+    data = _LENGTH_STRUCT.pack(len(body)) + body
+    sock.sendall(data)
+    return len(data)
 
 
 def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
@@ -135,13 +141,17 @@ def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> dict | None:
+def recv_frame(
+    sock: socket.socket, meter: Callable[[int], None] | None = None
+) -> dict | None:
     """Receive one frame; ``None`` on clean EOF.
 
-    Raises :class:`RemoteProtocolError` for every malformed shape —
-    truncated header or body, oversized length prefix, undecodable JSON,
-    or a body that is not an object — so callers treat any of them as a
-    peer that cannot be trusted further.
+    ``meter``, when given, is called with the frame's total wire size
+    (header + body) once the body has been read — the hook both sides'
+    byte accounting hangs off.  Raises :class:`RemoteProtocolError` for
+    every malformed shape — truncated header or body, oversized length
+    prefix, undecodable JSON, or a body that is not an object — so
+    callers treat any of them as a peer that cannot be trusted further.
     """
     header = _recv_exactly(sock, _LENGTH_STRUCT.size)
     if header is None:
@@ -155,6 +165,8 @@ def recv_frame(sock: socket.socket) -> dict | None:
     body = _recv_exactly(sock, length)
     if body is None:
         raise RemoteProtocolError("connection closed between frame header and body")
+    if meter is not None:
+        meter(_LENGTH_STRUCT.size + length)
     try:
         message = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -228,6 +240,13 @@ class WorkerServer:
         self.tasks_served = 0
         self.connections_served = 0
         self.handshakes_rejected = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        #: Cumulative worker-side execute time (perf-counter measured);
+        #: the same per-task numbers travel back in the result frames.
+        self.execute_seconds = 0.0
+        self._started_perf = time.perf_counter()
+        self._stats_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._connection_threads: list[threading.Thread] = []
@@ -256,12 +275,38 @@ class WorkerServer:
         self._accept_thread.start()
         return self
 
-    def serve_forever(self) -> None:
-        """Serve until :meth:`stop` is called (from a signal handler or peer)."""
+    def serve_forever(
+        self, stats_interval: float | None = None, stats_stream=None
+    ) -> None:
+        """Serve until :meth:`stop` is called (from a signal handler or peer).
+
+        ``stats_interval`` (seconds, the CLI's ``worker serve
+        --stats-interval``) periodically prints :meth:`stats_line` to
+        ``stats_stream`` (stderr by default), so a long-running fleet
+        worker is no longer silent.
+        """
         self.start()
+        stream = stats_stream if stats_stream is not None else sys.stderr
+        next_stats = (
+            time.perf_counter() + stats_interval
+            if stats_interval is not None and stats_interval > 0
+            else None
+        )
         # Polling wait keeps the main thread responsive to KeyboardInterrupt.
         while not self._stopped.wait(0.2):
-            pass
+            if next_stats is not None and time.perf_counter() >= next_stats:
+                print(self.stats_line(), file=stream, flush=True)
+                next_stats = time.perf_counter() + stats_interval
+
+    def stats_line(self) -> str:
+        """One human-readable line of cumulative serving statistics."""
+        uptime = time.perf_counter() - self._started_perf
+        return (
+            f"worker {self.address}: up {uptime:.0f}s, "
+            f"{self.tasks_served} task(s) served ({self.execute_seconds:.2f}s execute), "
+            f"{self.connections_served} connection(s), "
+            f"{self.bytes_received} B in, {self.bytes_sent} B out"
+        )
 
     def stop(self) -> None:
         """Stop accepting, close every connection, join the threads; idempotent."""
@@ -322,13 +367,23 @@ class WorkerServer:
                 self._connection_threads.append(thread)
             thread.start()
 
+    def _count_received(self, count: int) -> None:
+        with self._stats_lock:
+            self.bytes_received += count
+
+    def _send(self, sock: socket.socket, message: dict) -> None:
+        sent = send_frame(sock, message)
+        with self._stats_lock:
+            self.bytes_sent += sent
+
     def _serve_connection(self, sock: socket.socket) -> None:
         try:
             if not self._handshake(sock):
                 return
-            self.connections_served += 1
+            with self._stats_lock:
+                self.connections_served += 1
             while not self._stopped.is_set():
-                frame = recv_frame(sock)
+                frame = recv_frame(sock, meter=self._count_received)
                 if frame is None or frame.get("type") == "shutdown":
                     return
                 if frame.get("type") != "task":
@@ -349,7 +404,7 @@ class WorkerServer:
                 pass
 
     def _handshake(self, sock: socket.socket) -> bool:
-        frame = recv_frame(sock)
+        frame = recv_frame(sock, meter=self._count_received)
         if frame is None:
             return False
         if frame.get("type") != "hello":
@@ -358,8 +413,9 @@ class WorkerServer:
             )
         mismatches = _version_mismatches(frame)
         if mismatches:
-            self.handshakes_rejected += 1
-            send_frame(
+            with self._stats_lock:
+                self.handshakes_rejected += 1
+            self._send(
                 sock,
                 {
                     "type": "reject",
@@ -368,7 +424,7 @@ class WorkerServer:
                 },
             )
             return False
-        send_frame(sock, {"type": "welcome", "pid": os.getpid(), **_versions()})
+        self._send(sock, {"type": "welcome", "pid": os.getpid(), **_versions()})
         return True
 
     def _execute(self, sock: socket.socket, frame: dict) -> None:
@@ -376,7 +432,7 @@ class WorkerServer:
         name = frame.get("function")
         function = WORKER_FUNCTIONS.get(name)
         if function is None:
-            send_frame(
+            self._send(
                 sock,
                 {
                     "type": "error",
@@ -386,10 +442,11 @@ class WorkerServer:
                 },
             )
             return
+        started = time.perf_counter()
         try:
             outcome = function(decode_wire_value(frame.get("payload") or {}))
         except Exception as error:  # noqa: BLE001 - forwarded to the engine
-            send_frame(
+            self._send(
                 sock,
                 {
                     "type": "error",
@@ -399,9 +456,21 @@ class WorkerServer:
                 },
             )
             return
-        self.tasks_served += 1
-        send_frame(
-            sock, {"type": "result", "id": frame_id, "outcome": encode_wire_value(outcome)}
+        # The worker's own execute time rides on the result frame so the
+        # engine can split queue-wait from execute per worker without any
+        # cross-host clock agreement (durations only, never timestamps).
+        seconds = time.perf_counter() - started
+        with self._stats_lock:
+            self.tasks_served += 1
+            self.execute_seconds += seconds
+        self._send(
+            sock,
+            {
+                "type": "result",
+                "id": frame_id,
+                "outcome": encode_wire_value(outcome),
+                "seconds": seconds,
+            },
         )
 
 
@@ -409,22 +478,37 @@ class WorkerServer:
 # Engine side: one connection per worker
 # --------------------------------------------------------------------------- #
 class _WorkerLink:
-    """One handshaken connection from the engine to a worker process."""
+    """One handshaken connection from the engine to a worker process.
+
+    The wire counters (frames/bytes per direction) are cumulative over
+    the link's lifetime; each link is driven by exactly one thread per
+    dispatch, so they need no locking.
+    """
 
     def __init__(self, label: str, host: str, port: int) -> None:
         self.label = label
         self.host = host
         self.port = port
         self.worker_pid: int | None = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
         self._sock: socket.socket | None = None
         self._next_id = 0
+
+    def _count_received(self, count: int) -> None:
+        self.bytes_received += count
 
     def connect(self, timeout: float) -> None:
         sock = socket.create_connection((self.host, self.port), timeout=timeout)
         try:
             sock.settimeout(timeout)
-            send_frame(sock, {"type": "hello", "pid": os.getpid(), **_versions()})
-            reply = recv_frame(sock)
+            self.bytes_sent += send_frame(
+                sock, {"type": "hello", "pid": os.getpid(), **_versions()}
+            )
+            self.frames_sent += 1
+            reply = recv_frame(sock, meter=self._count_received)
             if reply is None:
                 raise RemoteProtocolError(
                     f"worker {self.label} closed the connection during the handshake"
@@ -439,6 +523,7 @@ class _WorkerLink:
                     f"worker {self.label} sent {reply.get('type')!r} instead of welcome"
                 )
             self.worker_pid = reply.get("pid")
+            self.frames_received += 1
             # Task execution time is unbounded (it scales with the trace),
             # so only the handshake runs under a timeout.
             sock.settimeout(None)
@@ -452,7 +537,7 @@ class _WorkerLink:
         return self._next_id
 
     def send_task(self, frame_id: int, function_name: str, wire_payload: dict) -> None:
-        send_frame(
+        self.bytes_sent += send_frame(
             self._sock,
             {
                 "type": "task",
@@ -461,11 +546,13 @@ class _WorkerLink:
                 "payload": wire_payload,
             },
         )
+        self.frames_sent += 1
 
     def recv(self) -> dict:
-        frame = recv_frame(self._sock)
+        frame = recv_frame(self._sock, meter=self._count_received)
         if frame is None:
             raise RemoteProtocolError(f"worker {self.label} closed the connection")
+        self.frames_received += 1
         return frame
 
     def close(self) -> None:
@@ -497,6 +584,10 @@ class _MapState:
         #: decremented as each exits, so an idle thread can tell "work is
         #: in flight elsewhere" from "no one holds the missing units".
         self.active = 0
+        #: Per-worker utilization bookkeeping, label -> dict; each driver
+        #: thread deposits its own numbers on exit and ``map`` turns them
+        #: into ``remote.worker`` telemetry events.
+        self.worker_stats: dict[str, dict] = {}
 
     def fatal(self) -> bool:
         """Whether the dispatch is already doomed (stop taking work)."""
@@ -611,10 +702,19 @@ class RemoteBackend(ExecutorBackend):
             )
             for link in links
         ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        with self.telemetry.span(
+            "dispatch",
+            backend=self.name,
+            units=len(payloads),
+            workers=len(links),
+            in_flight=self.in_flight,
+        ):
+            dispatch_started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            self._emit_worker_events(state, time.perf_counter() - dispatch_started)
         if state.task_error is not None:
             raise state.task_error
         if state.internal_error is not None:
@@ -627,6 +727,33 @@ class RemoteBackend(ExecutorBackend):
             )
         return state.results
 
+    def _emit_worker_events(self, state: _MapState, dispatch_seconds: float) -> None:
+        """One ``remote.worker`` event per driver thread of a dispatch.
+
+        ``busy_seconds`` sums the execute times the worker shipped back in
+        its result frames — durations measured on the worker's own clock,
+        so utilization needs no cross-host clock agreement.
+        """
+        for label, stats in sorted(state.worker_stats.items()):
+            busy = stats["busy_seconds"]
+            self.telemetry.event(
+                "remote.worker",
+                worker=label,
+                pid=stats["pid"],
+                tasks=stats["tasks"],
+                busy_seconds=busy,
+                utilization=busy / dispatch_seconds if dispatch_seconds > 0 else 0.0,
+                peak_in_flight=stats["peak_in_flight"],
+                frames_sent=stats["frames_sent"],
+                frames_received=stats["frames_received"],
+                bytes_sent=stats["bytes_sent"],
+                bytes_received=stats["bytes_received"],
+            )
+            self.telemetry.count("remote.bytes_sent", stats["bytes_sent"])
+            self.telemetry.count("remote.bytes_received", stats["bytes_received"])
+            self.telemetry.count("remote.frames_sent", stats["frames_sent"])
+            self.telemetry.count("remote.frames_received", stats["frames_received"])
+
     def _drive_worker(
         self,
         link: _WorkerLink,
@@ -636,6 +763,15 @@ class RemoteBackend(ExecutorBackend):
         on_result: Callable[[int], None] | None,
     ) -> None:
         inflight: deque[tuple[int, int]] = deque()  # (frame id, payload index)
+        wire_base = {
+            "frames_sent": link.frames_sent,
+            "frames_received": link.frames_received,
+            "bytes_sent": link.bytes_sent,
+            "bytes_received": link.bytes_received,
+        }
+        tasks_done = 0
+        busy_seconds = 0.0
+        peak_in_flight = 0
         try:
             while True:
                 to_send: list[tuple[int, int]] = []
@@ -649,6 +785,7 @@ class RemoteBackend(ExecutorBackend):
                         entry = (link.next_id(), index)
                         inflight.append(entry)
                         to_send.append(entry)
+                    peak_in_flight = max(peak_in_flight, len(inflight))
                     if not inflight:
                         if state.fatal() or state.completed == state.total:
                             return
@@ -687,6 +824,10 @@ class RemoteBackend(ExecutorBackend):
                         f"for frame {expected_id}: {error}"
                     ) from error
                 inflight.popleft()
+                tasks_done += 1
+                seconds = frame.get("seconds")
+                if isinstance(seconds, (int, float)):
+                    busy_seconds += seconds
                 with state.cond:
                     state.results[index] = outcome
                     state.done[index] = True
@@ -712,6 +853,13 @@ class RemoteBackend(ExecutorBackend):
                     index for _, index in reversed(inflight)
                 )
                 state.cond.notify_all()
+            self.telemetry.event(
+                "remote.redispatch",
+                worker=link.label,
+                units=len(inflight),
+                reason=str(error),
+            )
+            self.telemetry.count("remote.redispatched_units", len(inflight))
         except Exception as error:
             # Engine-side failure (e.g. a raising progress callback): a
             # driver thread must never die silently — that would leave
@@ -728,6 +876,16 @@ class RemoteBackend(ExecutorBackend):
         finally:
             with state.cond:
                 state.active -= 1
+                state.worker_stats[link.label] = {
+                    "pid": link.worker_pid,
+                    "tasks": tasks_done,
+                    "busy_seconds": busy_seconds,
+                    "peak_in_flight": peak_in_flight,
+                    "frames_sent": link.frames_sent - wire_base["frames_sent"],
+                    "frames_received": link.frames_received - wire_base["frames_received"],
+                    "bytes_sent": link.bytes_sent - wire_base["bytes_sent"],
+                    "bytes_received": link.bytes_received - wire_base["bytes_received"],
+                }
                 state.cond.notify_all()
 
     def _record_task_error(

@@ -39,13 +39,21 @@ from repro.engine.fingerprint import predictor_signature
 from repro.engine.phases import PhaseSpec, PhaseTask, run_phase
 from repro.engine.progress import NullProgress, ProgressListener
 from repro.engine.tasks import TASK_FORMAT_VERSION, SimulateTask, TraceTask
+from repro.engine.telemetry import NULL_TELEMETRY, Telemetry
 from repro.engine.worker import execute_simulate_task, execute_trace_task
 from repro.simulation.simulator import PredictorShard, merge_shards
 
 
 @dataclass
 class EngineStats:
-    """What one engine run actually did (vs. served from cache)."""
+    """What one engine run actually did (vs. served from cache).
+
+    ``trace_seconds``/``simulate_seconds`` are the wall durations of the
+    two phases (cache probes included), measured with
+    :func:`time.perf_counter` so clock jumps cannot skew them;
+    ``cache_hit_bytes``/``cache_write_bytes`` are the run's byte traffic
+    against the persistent result cache (0 without one).
+    """
 
     benchmarks: int = 0
     predictors: int = 0
@@ -54,6 +62,13 @@ class EngineStats:
     simulations_computed: int = 0
     simulations_cached: int = 0
     total_seconds: float = 0.0
+    trace_seconds: float = 0.0
+    simulate_seconds: float = 0.0
+    cache_hit_bytes: int = 0
+    cache_write_bytes: int = 0
+
+    #: Phase-counter name -> the field its phase duration accumulates into.
+    _SECONDS_FIELDS = {"traces": "trace_seconds", "simulations": "simulate_seconds"}
 
     @property
     def tasks_computed(self) -> int:
@@ -71,6 +86,16 @@ class EngineStats:
         """
         name = f"{counter}_{'cached' if cached else 'computed'}"
         setattr(self, name, getattr(self, name) + count)
+
+    def record_seconds(self, counter: str, seconds: float) -> None:
+        """Accumulate one phase's wall duration (perf-counter measured).
+
+        Counters without a seconds field (toy phases in tests) are
+        ignored, mirroring how :meth:`record` stays generic.
+        """
+        name = self._SECONDS_FIELDS.get(counter)
+        if name is not None:
+            setattr(self, name, getattr(self, name) + seconds)
 
 
 class ExecutionEngine:
@@ -115,6 +140,12 @@ class ExecutionEngine:
         processes, required by (and only meaningful for) the ``remote``
         backend, whose per-worker in-flight limit is ``jobs``.  See
         :mod:`repro.engine.remote`.
+    telemetry:
+        Optional :class:`~repro.engine.telemetry.Telemetry` sink receiving
+        structured spans, events and counters from every layer (phases,
+        backend dispatches, the cache); defaults to the always-cheap
+        :data:`~repro.engine.telemetry.NULL_TELEMETRY`.  Results and cache
+        entries are bit-identical with telemetry on or off.
     """
 
     def __init__(
@@ -128,13 +159,17 @@ class ExecutionEngine:
         cache_max_age: float | None = None,
         backend: str | ExecutorBackend | None = None,
         workers: Sequence[str] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cache = (
             ResultCache(cache_dir, max_bytes=cache_max_bytes, max_age=cache_max_age)
             if (use_cache and cache_dir is not None)
             else None
         )
+        if self.cache is not None:
+            self.cache.telemetry = self.telemetry
         self.progress = progress if progress is not None else NullProgress()
         self.cache_format = "json" if cache_format == "text" else cache_format
         if self.cache_format not in ("json", "binary"):
@@ -183,6 +218,9 @@ class ExecutionEngine:
         # engine and importing it at module level would be circular.
         from repro.simulation.campaign import CampaignResult
 
+        # Wall time anchors the run for humans and for cache-GC mtime
+        # comparisons; every *duration* comes from the paired monotonic
+        # clock, so a clock jump mid-run cannot skew them.
         started = time.perf_counter()
         run_started_wall = time.time()
         predictors = tuple(predictors)
@@ -190,10 +228,21 @@ class ExecutionEngine:
         stats = EngineStats(benchmarks=len(benchmarks), predictors=len(predictors))
         self.stats = stats
 
-        traces, digests, statistics = self._trace_phase(scale, benchmarks)
-        simulations = self._simulate_phase(predictors, benchmarks, traces, digests, stats)
-
-        stats.total_seconds = time.perf_counter() - started
+        self._annotate_run()
+        cache_base = self._cache_bytes()
+        with self.telemetry.span(
+            "run",
+            kind="campaign",
+            scale=scale,
+            benchmarks=len(benchmarks),
+            predictors=len(predictors),
+        ) as run_span:
+            traces, digests, statistics = self._trace_phase(scale, benchmarks)
+            simulations = self._simulate_phase(
+                predictors, benchmarks, traces, digests, stats
+            )
+            stats.total_seconds = time.perf_counter() - started
+            self._finish_run_stats(stats, cache_base, run_span)
         self.progress.campaign_finished(stats)
         self._auto_gc(run_started_wall)
         return CampaignResult(
@@ -215,9 +264,54 @@ class ExecutionEngine:
         from repro.engine.sweeps import execute_sweep
 
         run_started_wall = time.time()
-        result = execute_sweep(self, spec)
+        self._annotate_run()
+        cache_base = self._cache_bytes()
+        with self.telemetry.span(
+            "run",
+            kind="sweep",
+            benchmarks=len(spec.benchmark_axis()),
+            predictors=len(spec.predictors),
+        ) as run_span:
+            result = execute_sweep(self, spec)
+            self._finish_run_stats(self.stats, cache_base, run_span)
         self._auto_gc(run_started_wall)
         return result
+
+    # ------------------------------------------------------------------ #
+    # Run-level telemetry plumbing
+    # ------------------------------------------------------------------ #
+    def _annotate_run(self) -> None:
+        """Stamp the engine configuration onto the run manifest."""
+        self.telemetry.annotate(
+            backend=self.backend.name,
+            jobs=self.jobs,
+            cache_dir=str(self.cache.root) if self.cache else None,
+            cache_format=self.cache_format if self.cache else None,
+        )
+
+    def _cache_bytes(self) -> tuple[int, int]:
+        """Snapshot of the cache's cumulative (hit, write) byte counters."""
+        if self.cache is None:
+            return (0, 0)
+        return (self.cache.hit_bytes, self.cache.write_bytes)
+
+    def _finish_run_stats(self, stats: EngineStats, cache_base, run_span) -> None:
+        """Fold this run's cache byte deltas into ``stats`` and the span.
+
+        The cache counters are cumulative per :class:`ResultCache`
+        instance, so the run's own traffic is the delta against the
+        snapshot taken when the run began.
+        """
+        hit_base, write_base = cache_base
+        hit_bytes, write_bytes = self._cache_bytes()
+        stats.cache_hit_bytes = hit_bytes - hit_base
+        stats.cache_write_bytes = write_bytes - write_base
+        run_span.set(
+            tasks_computed=stats.tasks_computed,
+            tasks_cached=stats.tasks_cached,
+            cache_hit_bytes=stats.cache_hit_bytes,
+            cache_write_bytes=stats.cache_write_bytes,
+        )
 
     # ------------------------------------------------------------------ #
     # Phases — thin configurations of the shared phase executor
@@ -419,6 +513,10 @@ class ExecutionEngine:
         """Execute payloads on the configured backend, in input order."""
         if not payloads:
             return []
+        # Stamped per dispatch, not per engine: a shared backend instance
+        # serves several engines, and dispatch spans must land in whichever
+        # sink the engine currently driving it is wired to.
+        self.backend.telemetry = self.telemetry
         return self.backend.map(
             function,
             payloads,

@@ -55,6 +55,7 @@ from repro.engine.fingerprint import predictor_signature, predictors_fingerprint
 from repro.engine.phases import PhaseSpec, PhaseTask, run_phase
 from repro.engine.scheduler import EngineStats
 from repro.engine.tasks import SimulateTask, TraceTask
+from repro.engine.telemetry import TELEMETRY_KEY
 from repro.engine.worker import execute_simulate_task, execute_trace_task
 from repro.errors import SweepError
 from repro.simulation.simulator import PredictorResult
@@ -367,6 +368,20 @@ def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
         # so the repair sticks for the next run.
         def repair() -> dict:
             outcome = execute_trace_task(trace_tasks[config].payload())
+            # Repairs bypass the phase executor, so strip the worker's
+            # observability sidecar here too — the overwritten cache entry
+            # must stay byte-identical with telemetry on or off.
+            sidecar = outcome.pop(TELEMETRY_KEY, None)
+            if sidecar:
+                engine.telemetry.span_record(
+                    "task",
+                    sidecar.get("execute_seconds", 0.0),
+                    phase="trace",
+                    label=_trace_label(config),
+                    worker_pid=sidecar.get("pid"),
+                    function=sidecar.get("function"),
+                    repair=True,
+                )
             stats.traces_computed += 1
             stats.traces_cached -= 1
             if engine.cache:

@@ -23,7 +23,12 @@ from repro.trace.stream import ValueTrace
 #: Version 2: trace keys carry the resolved input/flags setting, so the
 #: campaign's default-configuration traces and a sweep's explicit traces
 #: address the same entries.
-TASK_FORMAT_VERSION = 2
+#: Version 3: worker outcomes may carry the reserved ``__telemetry__``
+#: sidecar (worker-side execute time; see :mod:`repro.engine.telemetry`).
+#: The phase executor strips it before caching, but an *older* engine
+#: driving a newer worker would cache sidecar-bearing entries — so the
+#: remote handshake must refuse the skew, which this bump enforces.
+TASK_FORMAT_VERSION = 3
 
 
 def _canonical_scale(scale: float) -> str:

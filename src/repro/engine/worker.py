@@ -9,14 +9,33 @@ stores — so the parent handles pool output and cache hits identically.
 
 from __future__ import annotations
 
+import os
+import time
 from hashlib import sha256
 
 from repro.core.registry import create_predictor
 from repro.engine.codecs import shard_to_dict, statistics_to_dict
+from repro.engine.telemetry import TELEMETRY_KEY
 from repro.errors import SimulationError
 from repro.trace.io import dumps_trace, dumps_trace_binary, loads_trace, loads_trace_binary
 from repro.simulation.simulator import simulate_shard
 from repro.workloads.suite import get_workload
+
+
+def _telemetry_sidecar(function: str, started_perf: float) -> dict:
+    """The observability sidecar every worker outcome carries.
+
+    Worker-side execute time is measured here — on the worker's own
+    monotonic clock, whichever process or host that is — and travels back
+    inside the outcome under the reserved :data:`TELEMETRY_KEY`.  The
+    phase executor strips the key before the outcome is decoded or
+    cached, so cache entries and results never contain it.
+    """
+    return {
+        "function": function,
+        "execute_seconds": time.perf_counter() - started_perf,
+        "pid": os.getpid(),
+    }
 
 
 def execute_trace_task(payload: dict) -> dict:
@@ -34,6 +53,7 @@ def execute_trace_task(payload: dict) -> dict:
     a decode fallback for entries and wire formats produced by older code
     (:func:`repro.engine.codecs.payload_trace`).
     """
+    started = time.perf_counter()
     workload = get_workload(payload["benchmark"])
     trace = workload.trace(
         scale=payload["scale"],
@@ -45,6 +65,7 @@ def execute_trace_task(payload: dict) -> dict:
         "trace_binary": dumps_trace_binary(trace, compress=True),
         "digest": sha256(text.encode("utf-8")).hexdigest(),
         "statistics": statistics_to_dict(trace.statistics()),
+        TELEMETRY_KEY: _telemetry_sidecar("trace", started),
     }
 
 
@@ -56,6 +77,7 @@ def execute_simulate_task(payload: dict) -> dict:
     compatibility with payloads built by older code — as canonical text
     (``trace_text``).  All three decode to the same records.
     """
+    started = time.perf_counter()
     trace = payload.get("trace")
     if trace is None:
         trace_bytes = payload.get("trace_bytes")
@@ -77,7 +99,10 @@ def execute_simulate_task(payload: dict) -> dict:
                 f"expected signature {expected_signature!r}, got {local_signature!r}"
             )
     shard = simulate_shard(trace, name)
-    return {"shard": shard_to_dict(shard)}
+    return {
+        "shard": shard_to_dict(shard),
+        TELEMETRY_KEY: _telemetry_sidecar("simulate", started),
+    }
 
 
 #: Worker functions addressable *by name* over the remote worker protocol

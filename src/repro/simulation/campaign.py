@@ -72,6 +72,11 @@ class EngineDefaults:
     cache_max_age: float | None = None
     backend: str | None = None
     workers: tuple[str, ...] | None = None
+    #: Telemetry sink engines built from the defaults report into
+    #: (:class:`repro.engine.telemetry.Telemetry`); ``None`` means the
+    #: always-cheap null sink.  The CLI wires ``--telemetry-dir`` here so
+    #: experiment entry points record runs without signature changes.
+    telemetry: object | None = None
 
 
 _CACHE: dict[tuple, CampaignResult] = {}
@@ -100,6 +105,7 @@ def set_campaign_defaults(
     cache_max_age: float | None = None,
     backend: str | None = None,
     workers: tuple[str, ...] | None = None,
+    telemetry: object | None = None,
 ) -> None:
     """Configure the engine used by default for subsequent campaigns/sweeps.
 
@@ -125,6 +131,8 @@ def set_campaign_defaults(
         _ENGINE_DEFAULTS.backend = backend
     if workers is not None:
         _ENGINE_DEFAULTS.workers = tuple(workers)
+    if telemetry is not None:
+        _ENGINE_DEFAULTS.telemetry = telemetry
 
 
 def reset_campaign_defaults() -> None:
@@ -137,6 +145,7 @@ def reset_campaign_defaults() -> None:
     _ENGINE_DEFAULTS.cache_max_age = None
     _ENGINE_DEFAULTS.backend = None
     _ENGINE_DEFAULTS.workers = None
+    _ENGINE_DEFAULTS.telemetry = None
     for shared in _SHARED_BACKENDS.values():
         shared.close()
     _SHARED_BACKENDS.clear()
@@ -155,6 +164,7 @@ def build_engine(
     cache_format: str | None = None,
     backend: str | None = None,
     workers: tuple[str, ...] | None = None,
+    telemetry=None,
 ):
     """Construct an :class:`ExecutionEngine` from the process-wide defaults.
 
@@ -199,6 +209,7 @@ def build_engine(
         cache_max_age=_ENGINE_DEFAULTS.cache_max_age,
         backend=backend,
         workers=workers,
+        telemetry=_ENGINE_DEFAULTS.telemetry if telemetry is None else telemetry,
     )
 
 
