@@ -160,6 +160,59 @@ def test_bench_engine_persistent_backend_reruns(benchmark):
 
 
 # --------------------------------------------------------------------------- #
+# Simulation kernels: scalar reference loop vs. columnar vector kernel
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def wire_blobs(bench_campaign):
+    """Each suite trace as compressed v3 wire bytes (built once, untimed)."""
+    from repro.trace.io import dumps_trace_binary
+
+    return {
+        name: dumps_trace_binary(trace, compress=True)
+        for name, trace in bench_campaign.traces.items()
+    }
+
+
+def _cold_simulate(blobs: dict, kernel: str) -> int:
+    """The simulate phase's cold path from wire bytes, on one kernel.
+
+    Mirrors what a pool worker does per benchmark: decode the v3 bytes
+    (into records on the scalar path, straight into numpy columns on the
+    vector path — no ``TraceRecord`` objects), then compute one shard per
+    paper predictor.
+    """
+    from repro.simulation.simulator import SIMULATION_COUNTER, simulate_shard
+    from repro.simulation.vectorized import simulate_shard_vector
+    from repro.trace.io import decode_trace_columns, loads_trace_binary
+
+    SIMULATION_COUNTER.reset()
+    for blob in blobs.values():
+        if kernel == "vector":
+            columns = decode_trace_columns(blob)
+            for name in PAPER_PREDICTORS:
+                assert simulate_shard_vector(columns, name) is not None
+        else:
+            trace = loads_trace_binary(blob)
+            for name in PAPER_PREDICTORS:
+                simulate_shard(trace, name, kernel="scalar")
+    return SIMULATION_COUNTER.count
+
+
+@pytest.mark.parametrize("kernel", ["scalar", "vector"])
+def test_bench_engine_cold_simulate_kernel_axis(benchmark, wire_blobs, kernel):
+    """Scalar-vs-vector cold simulate pair (same work, different kernel).
+
+    Both points decode every suite trace from wire bytes and compute all
+    (trace, predictor) shards; the ratio between them is the vector
+    kernel's cold-simulate speedup, recorded in the benchmark JSON.
+    """
+    if kernel == "vector":
+        pytest.importorskip("numpy")
+    computed = run_once(benchmark, _cold_simulate, wire_blobs, kernel)
+    assert computed == len(wire_blobs) * len(PAPER_PREDICTORS)
+
+
+# --------------------------------------------------------------------------- #
 # Text vs. binary cache format
 # --------------------------------------------------------------------------- #
 def _report_cache_size(engine, label: str) -> None:

@@ -283,6 +283,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--scale", type=float, default=QUICK_SCALE)
     simulate.add_argument("--input", default=None, help="named input set for the benchmark")
+    simulate.add_argument(
+        "--kernel",
+        choices=("scalar", "vector", "auto"),
+        default="auto",
+        help="simulation kernel (results are bit-identical; see the campaign "
+        "subcommand's --kernel)",
+    )
 
     subparsers.add_parser("workloads", help="list the available benchmarks")
     subparsers.add_parser("predictors", help="list the available predictor configurations")
@@ -347,6 +354,15 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="AGE",
         help="auto-GC entries idle longer than AGE after the run (e.g. 30m, 7d)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("scalar", "vector", "auto"),
+        default="auto",
+        help="simulation kernel: 'scalar' runs the reference per-record loop, "
+        "'vector' the columnar numpy kernel (fails cleanly without numpy), "
+        "'auto' picks vector when numpy is importable (default); results "
+        "and cache entries are bit-identical across kernels",
     )
     parser.add_argument(
         "--telemetry-dir",
@@ -445,6 +461,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         telemetry=telemetry,
+        kernel=args.kernel,
     )
     scale = QUICK_SCALE if args.quick and args.scale is None else args.scale
     try:
@@ -532,6 +549,7 @@ def _engine_from_arguments(args: argparse.Namespace, telemetry=None) -> Executio
         backend=args.backend,
         workers=args.workers,
         telemetry=telemetry,
+        kernel=args.kernel,
     )
 
 
@@ -896,7 +914,7 @@ def _command_inspect(args: argparse.Namespace) -> int:
 def _command_simulate(args: argparse.Namespace) -> int:
     workload = get_workload(args.benchmark)
     trace = workload.trace(scale=args.scale, input_name=args.input)
-    result = simulate_trace(trace, tuple(args.predictors))
+    result = simulate_trace(trace, tuple(args.predictors), kernel=args.kernel)
     rows = []
     for name in result.predictor_names:
         predictor_result = result.results[name]

@@ -146,6 +146,13 @@ class ExecutionEngine:
         backend dispatches, the cache); defaults to the always-cheap
         :data:`~repro.engine.telemetry.NULL_TELEMETRY`.  Results and cache
         entries are bit-identical with telemetry on or off.
+    kernel:
+        Simulation kernel selection forwarded to every simulate task and
+        to the merge pass: ``"scalar"``, ``"vector"``, ``"auto"`` (vector
+        when numpy is importable) or ``None`` to defer to the
+        ``REPRO_KERNEL`` environment variable.  Kernels are bit-identical,
+        so the setting is not part of any cache key; see
+        :mod:`repro.simulation.vectorized`.
     """
 
     def __init__(
@@ -160,7 +167,17 @@ class ExecutionEngine:
         backend: str | ExecutorBackend | None = None,
         workers: Sequence[str] | None = None,
         telemetry: Telemetry | None = None,
+        kernel: str | None = None,
     ) -> None:
+        from repro.simulation.vectorized import resolve_kernel
+
+        # Validate eagerly so a bad name (or a forced "vector" without
+        # numpy) fails at construction, not mid-run.  The *raw* setting is
+        # what travels in task payloads: each worker resolves it against
+        # its own environment (see SimulateTask.payload), and it never
+        # enters a cache key because both kernels are bit-identical.
+        resolve_kernel(kernel)
+        self.kernel = kernel
         self.jobs = max(1, int(jobs))
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cache = (
@@ -405,7 +422,7 @@ class ExecutionEngine:
 
         def build_payload(task: SimulateTask, inline: bool) -> dict:
             if inline:
-                return task.payload(traces[task.benchmark], inline=True)
+                return task.payload(traces[task.benchmark], inline=True, kernel=self.kernel)
             if task.benchmark not in wire_bytes:
                 from repro.trace.io import dumps_trace_binary
 
@@ -413,7 +430,10 @@ class ExecutionEngine:
                     traces[task.benchmark], compress=True
                 )
             return task.payload(
-                None, inline=False, trace_bytes=wire_bytes[task.benchmark]
+                None,
+                inline=False,
+                trace_bytes=wire_bytes[task.benchmark],
+                kernel=self.kernel,
             )
 
         def accept_shard(uid: tuple[str, str], payload: dict) -> bool:
@@ -467,6 +487,7 @@ class ExecutionEngine:
             merged = merge_shards(
                 traces[benchmark],
                 {predictor: shards[benchmark][predictor] for predictor in predictors},
+                kernel=self.kernel,
             )
             simulations[benchmark] = merged
             if self.cache:

@@ -426,10 +426,12 @@ def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
     def build_simulate_payload(unit: tuple[str, str], inline: bool) -> dict:
         task, config = units[unit]
         if inline:
-            return task.payload(traces[config].get(), inline=True)
+            return task.payload(traces[config].get(), inline=True, kernel=engine.kernel)
         if config not in wire_bytes:
             wire_bytes[config] = dumps_trace_binary(traces[config].get(), compress=True)
-        return task.payload(None, inline=False, trace_bytes=wire_bytes[config])
+        return task.payload(
+            None, inline=False, trace_bytes=wire_bytes[config], kernel=engine.kernel
+        )
 
     def accept_shard(unit: tuple[str, str], payload: dict) -> bool:
         shards[unit] = shard_from_dict(payload["shard"])
@@ -521,6 +523,7 @@ def run_sweep(
     cache_format: str | None = None,
     backend=None,
     workers=None,
+    kernel: str | None = None,
 ) -> SweepResult:
     """Run one sweep on an engine built from the process-wide defaults.
 
@@ -546,6 +549,7 @@ def run_sweep(
         cache_format=cache_format,
         backend=backend,
         workers=workers,
+        kernel=kernel,
     )
     try:
         result = engine.run_sweep(spec)

@@ -113,6 +113,7 @@ class SimulateTask:
         trace: ValueTrace | None,
         inline: bool,
         trace_bytes: bytes | None = None,
+        kernel: str | None = None,
     ) -> dict:
         """Build the worker payload.
 
@@ -127,6 +128,12 @@ class SimulateTask:
         a worker whose registry disagrees (e.g. a ``spawn``-start process
         that re-imported a registry without a dynamic re-binding) fails
         loudly instead of simulating the wrong configuration.
+
+        ``kernel`` is the engine's (unresolved) simulation-kernel setting;
+        it travels in the payload — never in the cache key, because both
+        kernels produce byte-identical results — and each worker resolves
+        it against its own environment, so an ``"auto"`` fleet mixing
+        numpy-less hosts still computes identical shards everywhere.
         """
         from repro.trace.io import dumps_trace_binary
 
@@ -134,6 +141,8 @@ class SimulateTask:
             "predictor": self.predictor,
             "signature": self.predictor_signature,
         }
+        if kernel is not None:
+            payload["kernel"] = kernel
         if inline:
             payload["trace"] = trace
         elif trace_bytes is not None:

@@ -19,6 +19,7 @@ from repro.engine.telemetry import TELEMETRY_KEY
 from repro.errors import SimulationError
 from repro.trace.io import dumps_trace, dumps_trace_binary, loads_trace, loads_trace_binary
 from repro.simulation.simulator import simulate_shard
+from repro.simulation.vectorized import resolve_kernel
 from repro.workloads.suite import get_workload
 
 
@@ -76,15 +77,15 @@ def execute_simulate_task(payload: dict) -> dict:
     v3 binary bytes (``trace_bytes``, the pool wire format) or — for
     compatibility with payloads built by older code — as canonical text
     (``trace_text``).  All three decode to the same records.
+
+    ``kernel`` selects the simulation kernel; it is resolved against
+    *this* worker's environment (see
+    :func:`repro.simulation.vectorized.resolve_kernel`), and under the
+    vector kernel binary wire bytes decode straight into numpy columns —
+    no ``TraceRecord`` objects are ever materialised on the hot path.
     """
     started = time.perf_counter()
-    trace = payload.get("trace")
-    if trace is None:
-        trace_bytes = payload.get("trace_bytes")
-        if trace_bytes is not None:
-            trace = loads_trace_binary(trace_bytes)
-        else:
-            trace = loads_trace(payload["trace_text"])
+    kernel = resolve_kernel(payload.get("kernel"))
     name = payload["predictor"]
     expected_signature = payload.get("signature")
     if expected_signature is not None:
@@ -98,7 +99,23 @@ def execute_simulate_task(payload: dict) -> dict:
                 f"predictor {name!r} is configured differently in this worker: "
                 f"expected signature {expected_signature!r}, got {local_signature!r}"
             )
-    shard = simulate_shard(trace, name)
+    shard = None
+    trace = payload.get("trace")
+    trace_bytes = payload.get("trace_bytes") if trace is None else None
+    if trace is None and trace_bytes is not None and kernel == "vector":
+        from repro.simulation.vectorized import simulate_shard_vector
+        from repro.trace.io import decode_trace_columns
+
+        columns = decode_trace_columns(trace_bytes)
+        if columns is not None:
+            shard = simulate_shard_vector(columns, name)
+    if shard is None:
+        if trace is None:
+            if trace_bytes is not None:
+                trace = loads_trace_binary(trace_bytes)
+            else:
+                trace = loads_trace(payload["trace_text"])
+        shard = simulate_shard(trace, name, kernel=kernel)
     return {
         "shard": shard_to_dict(shard),
         TELEMETRY_KEY: _telemetry_sidecar("simulate", started),

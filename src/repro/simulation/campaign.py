@@ -77,6 +77,10 @@ class EngineDefaults:
     #: always-cheap null sink.  The CLI wires ``--telemetry-dir`` here so
     #: experiment entry points record runs without signature changes.
     telemetry: object | None = None
+    #: Simulation kernel (``"scalar"``/``"vector"``/``"auto"``); ``None``
+    #: defers to the ``REPRO_KERNEL`` environment variable.  Never part of
+    #: cache keys — kernels are bit-identical.
+    kernel: str | None = None
 
 
 _CACHE: dict[tuple, CampaignResult] = {}
@@ -106,14 +110,15 @@ def set_campaign_defaults(
     backend: str | None = None,
     workers: tuple[str, ...] | None = None,
     telemetry: object | None = None,
+    kernel: str | None = None,
 ) -> None:
     """Configure the engine used by default for subsequent campaigns/sweeps.
 
     The CLI routes ``--jobs``/``--cache-dir``/``--no-cache``/
     ``--cache-format``/``--cache-max-bytes``/``--cache-max-age``/
-    ``--backend``/``--workers`` through here so that the experiment entry
-    points — whose signatures only carry ``scale`` — still execute on the
-    configured engine.
+    ``--backend``/``--workers``/``--kernel`` through here so that the
+    experiment entry points — whose signatures only carry ``scale`` —
+    still execute on the configured engine.
     """
     if jobs is not None:
         _ENGINE_DEFAULTS.jobs = max(1, int(jobs))
@@ -133,6 +138,8 @@ def set_campaign_defaults(
         _ENGINE_DEFAULTS.workers = tuple(workers)
     if telemetry is not None:
         _ENGINE_DEFAULTS.telemetry = telemetry
+    if kernel is not None:
+        _ENGINE_DEFAULTS.kernel = kernel
 
 
 def reset_campaign_defaults() -> None:
@@ -146,6 +153,7 @@ def reset_campaign_defaults() -> None:
     _ENGINE_DEFAULTS.backend = None
     _ENGINE_DEFAULTS.workers = None
     _ENGINE_DEFAULTS.telemetry = None
+    _ENGINE_DEFAULTS.kernel = None
     for shared in _SHARED_BACKENDS.values():
         shared.close()
     _SHARED_BACKENDS.clear()
@@ -165,6 +173,7 @@ def build_engine(
     backend: str | None = None,
     workers: tuple[str, ...] | None = None,
     telemetry=None,
+    kernel: str | None = None,
 ):
     """Construct an :class:`ExecutionEngine` from the process-wide defaults.
 
@@ -210,6 +219,7 @@ def build_engine(
         backend=backend,
         workers=workers,
         telemetry=_ENGINE_DEFAULTS.telemetry if telemetry is None else telemetry,
+        kernel=_ENGINE_DEFAULTS.kernel if kernel is None else kernel,
     )
 
 
@@ -235,6 +245,7 @@ def run_campaign(
     cache_format: str | None = None,
     backend: str | None = None,
     workers: tuple[str, ...] | None = None,
+    kernel: str | None = None,
 ) -> CampaignResult:
     """Trace every benchmark and simulate every predictor over each trace.
 
@@ -262,6 +273,7 @@ def run_campaign(
         cache_format=cache_format,
         backend=backend,
         workers=workers,
+        kernel=kernel,
     )
     try:
         result = engine.run(

@@ -165,10 +165,26 @@ class PredictionSimulator:
 
 
 def simulate_trace(
-    trace: ValueTrace, predictor_names: tuple[str, ...] | list[str]
+    trace: ValueTrace,
+    predictor_names: tuple[str, ...] | list[str],
+    kernel: str | None = None,
 ) -> SimulationResult:
-    """Convenience wrapper: fresh predictors by name, one trace, one result."""
-    return PredictionSimulator.from_names(tuple(predictor_names)).run(trace)
+    """Convenience wrapper: fresh predictors by name, one trace, one result.
+
+    ``kernel`` selects the execution strategy (see
+    :mod:`repro.simulation.vectorized`): ``"scalar"`` runs the reference
+    lockstep loop, ``"vector"`` simulates per-predictor shards on the
+    columnar kernel and merges them, ``"auto"`` picks vector when numpy is
+    importable and ``None`` defers to the ``REPRO_KERNEL`` environment
+    variable.  Results are bit-identical either way.
+    """
+    from repro.simulation.vectorized import resolve_kernel
+
+    names = tuple(predictor_names)
+    if names and resolve_kernel(kernel) == "vector":
+        shards = {name: simulate_shard(trace, name, kernel="vector") for name in names}
+        return merge_shards(trace, shards, kernel="vector")
+    return PredictionSimulator.from_names(names).run(trace)
 
 
 # --------------------------------------------------------------------------- #
@@ -212,13 +228,29 @@ class PredictorShard:
     record_count: int
 
 
-def simulate_shard(trace: ValueTrace, predictor_name: str) -> PredictorShard:
+def simulate_shard(
+    trace: ValueTrace, predictor_name: str, kernel: str | None = None
+) -> PredictorShard:
     """Simulate a single fresh predictor over ``trace``.
 
     Produces bit-identical per-record outcomes to the same predictor's slot
     in the lockstep loop: predictor tables are private, so no other
-    predictor can influence them.
+    predictor can influence them.  Under the ``"vector"`` kernel (see
+    :func:`simulate_trace`) the columnar kernel computes the same shard —
+    identical down to the dict insertion orders the cache serialises —
+    falling back to this scalar loop for configurations it does not cover.
     """
+    from repro.simulation.vectorized import resolve_kernel
+
+    if resolve_kernel(kernel) == "vector":
+        from repro.simulation.vectorized import simulate_shard_vector
+        from repro.trace.io import trace_columns
+
+        columns = trace_columns(trace)
+        if columns is not None:
+            shard = simulate_shard_vector(columns, predictor_name)
+            if shard is not None:
+                return shard
     SIMULATION_COUNTER.increment()
     predictor = create_predictor(predictor_name)
     result = PredictorResult(predictor=predictor_name)
@@ -239,13 +271,19 @@ def simulate_shard(trace: ValueTrace, predictor_name: str) -> PredictorShard:
 
 
 def merge_shards(
-    trace: ValueTrace, shards: Mapping[str, PredictorShard]
+    trace: ValueTrace,
+    shards: Mapping[str, PredictorShard],
+    kernel: str | None = None,
 ) -> SimulationResult:
     """Recombine per-predictor shards into the joint lockstep result.
 
     The shard mapping's order fixes ``predictor_names`` and therefore the
     position of each predictor in the ``subset_counts`` outcome tuples.
+    Under the ``"vector"`` kernel the per-record unpack/tally loop runs as
+    array passes with identical output (see :func:`simulate_trace`).
     """
+    from repro.simulation.vectorized import resolve_kernel
+
     if not shards:
         raise SimulationError("at least one shard is required to merge")
     names = tuple(shards)
@@ -255,6 +293,15 @@ def merge_shards(
                 f"shard for {name!r} covers {shards[name].record_count} records, "
                 f"trace {trace.name!r} has {len(trace)}"
             )
+    if resolve_kernel(kernel) == "vector":
+        from repro.simulation.vectorized import merge_shards_vector
+        from repro.trace.io import trace_columns
+
+        columns = trace_columns(trace)
+        if columns is not None:
+            merged = merge_shards_vector(columns, shards)
+            if merged is not None:
+                return merged
     packed = [shards[name].correctness for name in names]
     pc_total: dict[int, int] = {}
     pc_category: dict[int, Category] = {}

@@ -1,0 +1,512 @@
+"""Columnar (numpy) simulation kernel — batched, bit-identical to scalar.
+
+The scalar loop in :mod:`repro.simulation.simulator` is the golden
+reference: one :meth:`~repro.core.base.ValuePredictor.observe` call per
+record.  This module re-expresses the paper's predictor table walks as
+whole-trace array passes over the columnar form of a trace
+(:class:`repro.trace.io.TraceColumns`):
+
+* **last value / stride / two-delta** become segmented scans over per-PC
+  groups — sort by PC (stable, so program order survives within a group),
+  then shifted compares and a forward-fill give every record the table
+  state its scalar ``predict`` would have seen;
+* **FCM** becomes a hash-then-scatter pass: records are grouped by their
+  exact (PC, context) key, occurrence counts come from a running count of
+  (group, value) pairs, and the scalar tie-break of
+  :func:`repro.core.fcm.select_maximum_count` — most-recent wins a tie,
+  otherwise the first-inserted of the maximal set — is reproduced with a
+  segmented cumulative maximum over packed ``count * R + (R - 1 - rank)``
+  keys, where ``rank`` is the value's insertion rank within its group;
+* **blended FCM with lazy exclusion** runs the same FCM pass top-down over
+  orders ``k..0``: at each order the candidate stream is exactly the
+  records not matched at a higher order (which is precisely the set that
+  updates that order's table under lazy exclusion), and records that find
+  a previous same-context candidate are matched there.
+
+Every configuration the default campaign simulates is covered; exotic
+configurations (hysteresis and saturating-counter variants, hybrids,
+full-update blending) fall back to the scalar loop, so results are
+identical for *every* registered predictor either way.  Cache keys never
+include the kernel: both kernels produce byte-identical entries.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid cycles
+    from repro.simulation.simulator import PredictorShard, SimulationResult
+    from repro.trace.io import TraceColumns
+
+#: Valid values of the ``kernel`` parameter / ``--kernel`` flag.
+KERNELS = ("scalar", "vector", "auto")
+
+#: Environment variable consulted when no kernel is passed explicitly.
+KERNEL_ENV = "REPRO_KERNEL"
+
+_NUMPY_UNSET = object()
+_numpy_module = _NUMPY_UNSET
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when it is not importable (memoised)."""
+    global _numpy_module
+    if _numpy_module is _NUMPY_UNSET:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy_module = numpy
+    return _numpy_module
+
+
+def resolve_kernel(kernel: str | None) -> str:
+    """Resolve a kernel request to ``"scalar"`` or ``"vector"``.
+
+    ``None`` consults :data:`KERNEL_ENV` and defaults to ``"scalar"``;
+    ``"auto"`` selects ``"vector"`` exactly when numpy is importable; an
+    explicit (or environment-forced) ``"vector"`` without numpy raises a
+    clean :class:`SimulationError` instead of an ``ImportError`` deep in
+    a worker.
+    """
+    source = "kernel"
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV) or "scalar"
+        source = f"{KERNEL_ENV} environment variable"
+    if kernel not in KERNELS:
+        raise SimulationError(
+            f"unknown simulation kernel {kernel!r} (from {source}); "
+            f"expected one of {', '.join(KERNELS)}"
+        )
+    if kernel == "auto":
+        return "vector" if numpy_or_none() is not None else "scalar"
+    if kernel == "vector" and numpy_or_none() is None:
+        raise SimulationError(
+            "the 'vector' simulation kernel requires numpy, which is not "
+            "importable here; use '--kernel auto' to fall back automatically"
+        )
+    return kernel
+
+
+class _VectorizationUnsupported(Exception):
+    """Internal: a size guard tripped; the caller retries on the scalar path."""
+
+
+# --------------------------------------------------------------------------- #
+# Per-PC grouping (shared by every plan over one trace)
+# --------------------------------------------------------------------------- #
+class _Grouping:
+    """Stable per-PC grouping of a trace's columns.
+
+    ``order`` sorts records by PC (stable), so within each group the
+    records keep program order — the axis every predictor table walks.
+    ``gid`` is a dense group id per sorted position, ``t`` the occurrence
+    index of the record within its PC's stream, ``vs`` the values in the
+    sorted domain.
+    """
+
+    def __init__(self, np, columns) -> None:
+        n = len(columns)
+        self.n = n
+        self.order = np.argsort(columns.pcs, kind="stable")
+        self.vs = columns.values[self.order]
+        sorted_pcs = columns.pcs[self.order]
+        new_group = np.empty(n, dtype=bool)
+        if n:
+            new_group[0] = True
+            new_group[1:] = sorted_pcs[1:] != sorted_pcs[:-1]
+        self.gid = np.cumsum(new_group) - 1
+        starts = np.flatnonzero(new_group)
+        self.t = np.arange(n) - (starts[self.gid] if n else 0)
+
+
+def _grouping(np, columns) -> _Grouping:
+    grouping = columns.scratch.get("grouping")
+    if grouping is None:
+        grouping = _Grouping(np, columns)
+        columns.scratch["grouping"] = grouping
+    return grouping
+
+
+def _factorize_pairs(np, a, b):
+    """Dense ids for the distinct ``(a[i], b[i])`` pairs (order-arbitrary)."""
+    if len(a) == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.lexsort((b, a))
+    a_sorted = a[order]
+    b_sorted = b[order]
+    boundary = np.empty(len(a), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (a_sorted[1:] != a_sorted[:-1]) | (b_sorted[1:] != b_sorted[:-1])
+    ids = np.empty(len(a), dtype=np.int64)
+    ids[order] = np.cumsum(boundary) - 1
+    return ids
+
+
+def _segmented_cummax(np, gid, keys, key_bound: int):
+    """Running maximum of ``keys`` within each contiguous ascending group."""
+    if len(gid) and int(gid[-1] + 1) * key_bound >= 2**62:
+        raise _VectorizationUnsupported("packed cummax key would overflow int64")
+    packed = gid * np.int64(key_bound) + keys
+    return np.maximum.accumulate(packed) - gid * np.int64(key_bound)
+
+
+# --------------------------------------------------------------------------- #
+# The FCM count/argmax machinery (shared by single-order and blended plans)
+# --------------------------------------------------------------------------- #
+def _fcm_stream(np, group_ids, y):
+    """Predict each element of a (group, value) stream from its group's past.
+
+    The stream must list observations in time order.  For each element
+    returns ``has`` (a previous same-group element exists, i.e. the
+    context has non-empty counts) and ``pred`` (the value
+    :func:`~repro.core.fcm.select_maximum_count` would pick from the
+    counts of the previous same-group elements, with the immediately
+    preceding one as the recency tie-breaker).
+    """
+    m = len(y)
+    if m == 0:
+        return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+    order = np.argsort(group_ids, kind="stable")
+    y2 = y[order]
+    g_sorted = group_ids[order]
+    new_group = np.empty(m, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = g_sorted[1:] != g_sorted[:-1]
+    gid = np.cumsum(new_group) - 1
+    u = np.arange(m) - np.flatnonzero(new_group)[gid]
+
+    # Running count c of each (group, value) pair at each occurrence.
+    pid = _factorize_pairs(np, gid, y2)
+    pair_order = np.argsort(pid, kind="stable")
+    pid_sorted = pid[pair_order]
+    pair_start = np.empty(m, dtype=bool)
+    pair_start[0] = True
+    pair_start[1:] = pid_sorted[1:] != pid_sorted[:-1]
+    counts = np.empty(m, dtype=np.int64)
+    counts[pair_order] = (
+        np.arange(m) - np.flatnonzero(pair_start)[np.cumsum(pair_start) - 1] + 1
+    )
+
+    # Running maximum count per group.
+    count_bound = int(counts.max()) + 1
+    running_max = _segmented_cummax(np, gid, counts, count_bound)
+
+    # Insertion rank of each pair within its group, plus the group-local
+    # table decoding (group, rank) back to the pair's value.
+    pair_count = int(pid.max()) + 1
+    first_pos = np.empty(pair_count, dtype=np.int64)
+    first_pos[pid_sorted[pair_start]] = pair_order[pair_start]
+    pair_gid = gid[first_pos]
+    rank_order = np.lexsort((first_pos, pair_gid))
+    ranked_gid = pair_gid[rank_order]
+    rank_start = np.empty(pair_count, dtype=bool)
+    rank_start[0] = True
+    rank_start[1:] = ranked_gid[1:] != ranked_gid[:-1]
+    # Every group holds at least one pair and pair_gid is dense, so the
+    # group-change positions double as per-group base offsets.
+    group_base = np.flatnonzero(rank_start)
+    rank_sorted = np.arange(pair_count) - group_base[np.cumsum(rank_start) - 1]
+    rank_of_pair = np.empty(pair_count, dtype=np.int64)
+    rank_of_pair[rank_order] = rank_sorted
+    value_by_rank = y2[first_pos][rank_order]
+
+    # Leader = first-inserted value among the current maximal-count set.
+    # Packing count (major) against inverted insertion rank (minor) makes
+    # the running key-max decode to exactly that value: a value's latest
+    # occurrence carries its full count, so the maximal key belongs to the
+    # max-count value with the smallest rank.
+    rank_bound = int(rank_of_pair.max()) + 2
+    keys = counts * np.int64(rank_bound) + (
+        np.int64(rank_bound - 1) - rank_of_pair[pid]
+    )
+    key_max = _segmented_cummax(np, gid, keys, count_bound * rank_bound)
+    leader_rank = np.int64(rank_bound - 1) - (key_max % np.int64(rank_bound))
+    leader = value_by_rank[group_base[gid] + leader_rank]
+
+    # The prediction for element p reads the state after element p-1 of
+    # its group: recent value, its count, the running max and the leader.
+    has = u >= 1
+    recent = np.zeros(m, dtype=np.int64)
+    prev_count = np.zeros(m, dtype=np.int64)
+    prev_max = np.full(m, -1, dtype=np.int64)
+    prev_leader = np.zeros(m, dtype=np.int64)
+    if m > 1:
+        recent[1:] = y2[:-1]
+        prev_count[1:] = counts[:-1]
+        prev_max[1:] = running_max[:-1]
+        prev_leader[1:] = leader[:-1]
+    pred = np.where(prev_count == prev_max, recent, prev_leader)
+
+    has_out = np.empty(m, dtype=bool)
+    pred_out = np.empty(m, dtype=np.int64)
+    has_out[order] = has
+    pred_out[order] = pred
+    return has_out, pred_out
+
+
+# --------------------------------------------------------------------------- #
+# Per-predictor plans (all operate in the grouping's sorted domain)
+# --------------------------------------------------------------------------- #
+def _plan_last_value(np, group: _Grouping):
+    has = group.t >= 1
+    pred = np.zeros(group.n, dtype=np.int64)
+    if group.n > 1:
+        pred[1:] = group.vs[:-1]
+    return has, pred
+
+
+def _deltas(np, group: _Grouping):
+    """64-bit wrapping value deltas within each PC group (uint64 domain)."""
+    values = group.vs.view(np.uint64)
+    deltas = np.zeros(group.n, dtype=np.uint64)
+    if group.n > 1:
+        deltas[1:] = values[1:] - values[:-1]
+    return deltas
+
+
+def _stride_predictions(np, group: _Grouping, strides):
+    """``last_value + stride`` with 64-bit wrap, given per-position strides."""
+    values = group.vs.view(np.uint64)
+    pred = np.zeros(group.n, dtype=np.uint64)
+    if group.n > 1:
+        pred[1:] = values[:-1] + strides[:-1]
+    return group.t >= 1, pred.view(np.int64)
+
+
+def _plan_simple_stride(np, group: _Grouping):
+    deltas = _deltas(np, group)
+    # Stride state after each update: the latest delta; zero (i.e. plain
+    # last-value) while the entry has seen a single value.
+    strides = np.where(group.t >= 1, deltas, np.uint64(0))
+    return _stride_predictions(np, group, strides)
+
+
+def _plan_two_delta(np, group: _Grouping):
+    deltas = _deltas(np, group)
+    prev_deltas = np.zeros(group.n, dtype=np.uint64)
+    if group.n > 1:
+        prev_deltas[1:] = deltas[:-1]
+    # s2 adopts the observed delta on the first delta ever and whenever it
+    # repeats the previous one; otherwise it keeps its old value, which a
+    # forward-fill of the last adoption point reproduces.  t == 0 rows are
+    # adoption points of stride zero so fills never leak across groups.
+    adopt = (group.t <= 1) | ((group.t >= 2) & (deltas == prev_deltas))
+    source = np.where(group.t >= 1, deltas, np.uint64(0))
+    fill = np.maximum.accumulate(np.where(adopt, np.arange(group.n), -1))
+    strides = source[fill] if group.n else source
+    return _stride_predictions(np, group, strides)
+
+
+def _plan_fcm(np, group: _Grouping, order: int):
+    stream = np.flatnonzero(group.t >= order)
+    keys = group.gid[stream]
+    for back in range(1, order + 1):
+        keys = _factorize_pairs(np, keys, group.vs[stream - back])
+    stream_has, stream_pred = _fcm_stream(np, keys, group.vs[stream])
+    has = np.zeros(group.n, dtype=bool)
+    pred = np.zeros(group.n, dtype=np.int64)
+    has[stream] = stream_has
+    pred[stream] = stream_pred
+    return has, pred
+
+
+def _plan_blended_fcm(np, group: _Grouping, order: int):
+    has = np.zeros(group.n, dtype=bool)
+    pred = np.zeros(group.n, dtype=np.int64)
+    remaining = np.ones(group.n, dtype=bool)
+    # Lazy exclusion, top-down: the records still unmatched at order o that
+    # have seen >= o values are exactly the ones that update order o's
+    # table, so each round's candidate stream doubles as that order's
+    # updater stream; a record matches at the highest order where a
+    # previous same-context candidate exists.
+    for model_order in range(order, -1, -1):
+        candidates = np.flatnonzero(remaining & (group.t >= model_order))
+        if candidates.size == 0:
+            continue
+        keys = group.gid[candidates]
+        for back in range(1, model_order + 1):
+            keys = _factorize_pairs(np, keys, group.vs[candidates - back])
+        stream_has, stream_pred = _fcm_stream(np, keys, group.vs[candidates])
+        matched = candidates[stream_has]
+        has[matched] = True
+        pred[matched] = stream_pred[stream_has]
+        remaining[matched] = False
+    return has, pred
+
+
+def vector_plan(predictor_name: str):
+    """The vector plan for a registry name, or ``None`` (scalar fallback).
+
+    Detection inspects the *instantiated* configuration, so dynamic names
+    and re-bound registry entries select the right plan (or none).
+    """
+    from repro.core.blending import BlendedFcmPredictor
+    from repro.core.fcm import FcmPredictor
+    from repro.core.last_value import LastValuePredictor
+    from repro.core.registry import create_predictor
+    from repro.core.stride import SimpleStridePredictor, TwoDeltaStridePredictor
+
+    predictor = create_predictor(predictor_name)
+    kind = type(predictor)
+    if kind is LastValuePredictor and predictor.hysteresis == "always":
+        return _plan_last_value
+    if kind is SimpleStridePredictor:
+        return _plan_simple_stride
+    if kind is TwoDeltaStridePredictor:
+        return _plan_two_delta
+    if kind is FcmPredictor and predictor.counter_max is None:
+        order = predictor.order
+        return lambda np, group: _plan_fcm(np, group, order)
+    if (
+        kind is BlendedFcmPredictor
+        and predictor.counter_max is None
+        and predictor.update_policy == "lazy-exclusion"
+    ):
+        order = predictor.order
+        return lambda np, group: _plan_blended_fcm(np, group, order)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Result assembly — dict insertion orders must match the scalar loop's,
+# because cache entries are JSON renderings of these dicts and the two
+# kernels must produce byte-identical entries.
+# --------------------------------------------------------------------------- #
+def _first_occurrence_order(np, keys):
+    """Unique keys with counts, ordered by first occurrence in ``keys``."""
+    unique, first, counts = np.unique(keys, return_index=True, return_counts=True)
+    order = np.argsort(first, kind="stable")
+    return unique[order], first[order], counts[order]
+
+
+def _category_counts(np, columns, codes):
+    """Category -> count, keyed in first-occurrence order of ``codes``."""
+    unique, _, counts = _first_occurrence_order(np, codes)
+    return {
+        columns.categories[code]: count
+        for code, count in zip(unique.tolist(), counts.tolist())
+    }
+
+
+def _category_totals(np, columns):
+    """Per-category record counts — identical for every predictor's shard."""
+    totals = columns.scratch.get("category_totals")
+    if totals is None:
+        totals = _category_counts(np, columns, columns.category_codes)
+        columns.scratch["category_totals"] = totals
+    return totals
+
+
+def simulate_shard_vector(columns: "TraceColumns", predictor_name: str):
+    """Vectorized :func:`~repro.simulation.simulator.simulate_shard`.
+
+    Returns ``None`` when the predictor has no vector plan or a size guard
+    trips — callers then run the scalar reference loop.
+    """
+    from repro.simulation.simulator import (
+        SIMULATION_COUNTER,
+        PredictorResult,
+        PredictorShard,
+    )
+
+    np = numpy_or_none()
+    if np is None:
+        return None
+    plan = vector_plan(predictor_name)
+    if plan is None:
+        return None
+    group = _grouping(np, columns)
+    try:
+        has_sorted, pred_sorted = plan(np, group)
+    except _VectorizationUnsupported:
+        return None
+    SIMULATION_COUNTER.increment()
+    n = group.n
+    has = np.empty(n, dtype=bool)
+    pred = np.empty(n, dtype=np.int64)
+    has[group.order] = has_sorted
+    pred[group.order] = pred_sorted
+    correct = has & (pred == columns.values)
+
+    correct_pcs, _, correct_counts = _first_occurrence_order(np, columns.pcs[correct])
+    result = PredictorResult(
+        predictor=predictor_name,
+        total=n,
+        correct=int(correct.sum()),
+        category_total=dict(_category_totals(np, columns)),
+        category_correct=_category_counts(np, columns, columns.category_codes[correct]),
+        pc_correct=dict(zip(correct_pcs.tolist(), correct_counts.tolist())),
+    )
+    return PredictorShard(
+        result=result,
+        correctness=np.packbits(correct, bitorder="little").tobytes(),
+        record_count=n,
+    )
+
+
+def merge_shards_vector(
+    columns: "TraceColumns", shards: Mapping[str, "PredictorShard"]
+) -> "SimulationResult | None":
+    """Vectorized :func:`~repro.simulation.simulator.merge_shards`.
+
+    The caller validates shard/record counts first; ``None`` means the
+    merge is outside the vector path (no numpy, or more than 62
+    predictors, whose joint outcomes no longer pack into one int64 key).
+    """
+    from repro.simulation.simulator import SimulationResult
+
+    np = numpy_or_none()
+    names = tuple(shards)
+    if np is None or len(names) > 62:
+        return None
+    n = len(columns)
+
+    key = np.zeros(n, dtype=np.uint64)
+    for position, name in enumerate(names):
+        bits = np.unpackbits(
+            np.frombuffer(shards[name].correctness, dtype=np.uint8),
+            count=n,
+            bitorder="little",
+        )
+        key |= bits.astype(np.uint64) << np.uint64(position)
+
+    width = len(names)
+
+    def outcome_tuple(packed: int) -> tuple[bool, ...]:
+        return tuple(bool(packed >> position & 1) for position in range(width))
+
+    def subset_dict(keys) -> dict:
+        unique, _, counts = _first_occurrence_order(np, keys)
+        return {
+            outcome_tuple(packed): count
+            for packed, count in zip(unique.tolist(), counts.tolist())
+        }
+
+    subset_counts = subset_dict(key)
+    subset_by_category: dict = {}
+    category_codes, _, _ = _first_occurrence_order(np, columns.category_codes)
+    for code in category_codes:
+        mask = columns.category_codes == code
+        subset_by_category[columns.categories[int(code)]] = subset_dict(key[mask])
+
+    unique_pcs, first_seen, pc_counts = _first_occurrence_order(np, columns.pcs)
+    pc_total = dict(zip(unique_pcs.tolist(), pc_counts.tolist()))
+    first_codes = columns.category_codes[first_seen].tolist()
+    pc_category = {
+        pc: columns.categories[code]
+        for pc, code in zip(unique_pcs.tolist(), first_codes)
+    }
+    return SimulationResult(
+        trace_name=columns.name,
+        predictor_names=names,
+        total_records=n,
+        results={name: shards[name].result for name in names},
+        pc_total=pc_total,
+        pc_category=pc_category,
+        subset_counts=subset_counts,
+        subset_counts_by_category=subset_by_category,
+    )

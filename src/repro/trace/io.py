@@ -246,12 +246,12 @@ def dump_trace_binary(trace: ValueTrace, destination: BinaryIO, compress: bool =
     destination.write(dumps_trace_binary(trace, compress=compress))
 
 
-def loads_trace_binary(data: bytes) -> ValueTrace:
-    """Parse a trace from bytes produced by :func:`dumps_trace_binary`.
+def _parse_binary_container(data: bytes) -> tuple[str, int, int, list[Opcode], bytes]:
+    """Parse the v3 header and return ``(name, total, records, table, body)``.
 
-    Raises :class:`TraceError` on a bad magic, an unsupported version, a
-    truncated body or a record-count mismatch — the cache treats any of
-    those as a miss rather than a failure.
+    The body comes back decompressed; record decoding — scalar
+    (:func:`loads_trace_binary`) or columnar
+    (:func:`decode_trace_columns`) — is the caller's half of the work.
     """
     view = memoryview(data)
     if bytes(view[: len(BINARY_MAGIC)]) != BINARY_MAGIC:
@@ -292,6 +292,17 @@ def loads_trace_binary(data: bytes) -> ValueTrace:
             body = zlib.decompress(bytes(body))
         except zlib.error as exc:
             raise TraceError("corrupt binary trace: body fails to decompress") from exc
+    return name, total, expected_records, table, bytes(body)
+
+
+def loads_trace_binary(data: bytes) -> ValueTrace:
+    """Parse a trace from bytes produced by :func:`dumps_trace_binary`.
+
+    Raises :class:`TraceError` on a bad magic, an unsupported version, a
+    truncated body or a record-count mismatch — the cache treats any of
+    those as a miss rather than a failure.
+    """
+    name, total, expected_records, table, body = _parse_binary_container(data)
 
     # One record is four varints; the decode loop is the hot path of every
     # warm cache read, so the varint reader is inlined rather than calling
@@ -299,7 +310,7 @@ def loads_trace_binary(data: bytes) -> ValueTrace:
     pairs = [(opcode, category_of(opcode)) for opcode in table]
     records: list[TraceRecord] = []
     append = records.append
-    data = bytes(body)
+    data = body
     position = 0
     serial = 0
     pc = 0
@@ -392,6 +403,176 @@ def loads_trace_binary(data: bytes) -> ValueTrace:
 def load_trace_binary(source: BinaryIO) -> ValueTrace:
     """Read a trace previously written by :func:`dump_trace_binary`."""
     return loads_trace_binary(source.read())
+
+
+# --------------------------------------------------------------------------- #
+# Columnar decode (the vectorized kernel's input representation)
+# --------------------------------------------------------------------------- #
+class TraceColumns:
+    """A trace as parallel numpy columns instead of ``TraceRecord`` objects.
+
+    ``pcs``/``values``/``serials`` are ``int64`` arrays in program order;
+    ``opcode_codes`` indexes ``opcodes`` (the file's embedded table) and
+    ``category_codes`` indexes ``categories`` (the distinct categories of
+    that table, in table order).  ``scratch`` is a plain dict where the
+    vectorized kernel memoises derived structures (e.g. the per-PC
+    grouping) so they are computed once per trace, not once per predictor.
+    """
+
+    def __init__(self, name, total_dynamic_instructions, serials, pcs, values,
+                 opcode_codes, opcodes, category_codes, categories) -> None:
+        self.name = name
+        self.total_dynamic_instructions = total_dynamic_instructions
+        self.serials = serials
+        self.pcs = pcs
+        self.values = values
+        self.opcode_codes = opcode_codes
+        self.opcodes = opcodes
+        self.category_codes = category_codes
+        self.categories = categories
+        self.scratch: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def _category_mapping(table: list[Opcode] | tuple[Opcode, ...]):
+    """Distinct categories of an opcode table plus the per-opcode code map."""
+    categories: list = []
+    op_to_cat: list[int] = []
+    for opcode in table:
+        category = category_of(opcode)
+        if category not in categories:
+            categories.append(category)
+        op_to_cat.append(categories.index(category))
+    return tuple(categories), op_to_cat
+
+
+def _unzigzag_array(np, raw):
+    """Vectorised :func:`_unzigzag` over a ``uint64`` array, as ``int64``."""
+    mask = (raw & np.uint64(1)) * np.uint64(0xFFFFFFFFFFFFFFFF)
+    return ((raw >> np.uint64(1)) ^ mask).view(np.int64)
+
+
+def _prefix_sum_int64(np, deltas):
+    """Cumulative sum of ``int64`` deltas, or ``None`` if it could overflow.
+
+    The scalar decoder accumulates in arbitrary-precision Python ints; the
+    columnar path must refuse (and fall back) rather than silently wrap.
+    A float64 shadow sum bounds the true magnitude closely enough to gate
+    on half the int64 range.
+    """
+    shadow = np.cumsum(deltas.astype(np.float64))
+    if shadow.size and np.abs(shadow).max() >= float(2**62):
+        return None
+    return np.cumsum(deltas)
+
+
+def decode_trace_columns(data: bytes) -> TraceColumns | None:
+    """Decode v3 binary bytes straight into columns, skipping records.
+
+    Returns ``None`` when the fast path does not apply — numpy missing, or
+    a field outside the 64-bit domain the vectorized kernel computes in
+    (the scalar decoder handles those with arbitrary-precision ints).
+    Raises :class:`TraceError` on corrupt data, like
+    :func:`loads_trace_binary`.
+    """
+    try:
+        import numpy as np
+    except ImportError:
+        return None
+    name, total, expected_records, table, body = _parse_binary_container(data)
+    categories, op_to_cat = _category_mapping(table)
+    if expected_records == 0:
+        if body:
+            raise TraceError(
+                f"corrupt binary trace: {len(body)} trailing bytes after 0 records"
+            )
+        empty = np.zeros(0, dtype=np.int64)
+        columns = TraceColumns(
+            name, total, empty, empty, empty.copy(), empty.copy(),
+            tuple(table), empty.copy(), categories,
+        )
+        return columns
+
+    buf = np.frombuffer(body, dtype=np.uint8)
+    if buf.size == 0:
+        raise TraceError(
+            f"corrupt binary trace: body ends after 0 of {expected_records} records"
+        )
+    is_term = (buf & 0x80) == 0
+    if not is_term[-1]:
+        raise TraceError("truncated varint")
+    n_varints = int(is_term.sum())
+    if n_varints != 4 * expected_records:
+        raise TraceError(
+            f"corrupt binary trace: body holds {n_varints} varints, "
+            f"{4 * expected_records} expected"
+        )
+    starts_mask = np.empty(buf.size, dtype=bool)
+    starts_mask[0] = True
+    starts_mask[1:] = is_term[:-1]
+    varint_id = np.cumsum(starts_mask) - 1
+    starts = np.flatnonzero(starts_mask)
+    pos = np.arange(buf.size) - starts[varint_id]
+    if int(pos.max()) > 9 or bool(np.any(buf[pos == 9] > 0x01)):
+        # A varint longer than a 64-bit zigzag value needs: fall back to
+        # the arbitrary-precision scalar decoder.
+        return None
+    terms = (buf & np.uint8(0x7F)).astype(np.uint64) << (7 * pos).astype(np.uint64)
+    raw = np.add.reduceat(terms, starts).reshape(expected_records, 4)
+
+    opcode_codes = raw[:, 2]
+    if int(opcode_codes.max()) >= len(table):
+        bad = int(np.argmax(opcode_codes >= np.uint64(len(table))))
+        raise TraceError(f"corrupt binary trace: invalid opcode index in record {bad + 1}")
+    opcode_codes = opcode_codes.astype(np.int64)
+    serials = _prefix_sum_int64(np, _unzigzag_array(np, raw[:, 0].copy()))
+    pcs = _prefix_sum_int64(np, _unzigzag_array(np, raw[:, 1].copy()))
+    if serials is None or pcs is None:
+        return None
+    values = _unzigzag_array(np, raw[:, 3].copy())
+    category_codes = np.asarray(op_to_cat, dtype=np.int64)[opcode_codes]
+    return TraceColumns(
+        name, total, serials, pcs, values, opcode_codes, tuple(table),
+        category_codes, categories,
+    )
+
+
+def trace_columns(trace: ValueTrace) -> TraceColumns | None:
+    """Columnar view of an in-memory :class:`ValueTrace`, memoised on it.
+
+    Returns ``None`` when numpy is unavailable or any field falls outside
+    int64 (the vectorized kernel then uses the scalar path).
+    """
+    cached = getattr(trace, "_columns", False)
+    if cached is not False:
+        return cached
+    try:
+        import numpy as np
+    except ImportError:
+        return None
+    records = trace.records
+    count = len(records)
+    index = {opcode: code for code, opcode in enumerate(_OPCODE_ORDER)}
+    categories, op_to_cat = _category_mapping(_OPCODE_ORDER)
+    try:
+        serials = np.fromiter((r.serial for r in records), dtype=np.int64, count=count)
+        pcs = np.fromiter((r.pc for r in records), dtype=np.int64, count=count)
+        values = np.fromiter((r.value for r in records), dtype=np.int64, count=count)
+    except OverflowError:
+        trace._columns = None
+        return None
+    opcode_codes = np.fromiter(
+        (index[r.opcode] for r in records), dtype=np.int64, count=count
+    )
+    category_codes = np.asarray(op_to_cat, dtype=np.int64)[opcode_codes]
+    columns = TraceColumns(
+        trace.name, trace.total_dynamic_instructions, serials, pcs, values,
+        opcode_codes, _OPCODE_ORDER, category_codes, categories,
+    )
+    trace._columns = columns
+    return columns
 
 
 # --------------------------------------------------------------------------- #

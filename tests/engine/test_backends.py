@@ -84,6 +84,58 @@ class TestCampaignParity:
         assert warm.simulations["compress"] == cold.simulations["compress"]
 
 
+class TestKernelParity:
+    """Cross-kernel cache identity: the kernel never changes what is cached.
+
+    Cache entries written under ``--kernel vector`` must be byte-identical
+    to the scalar ones (same digest-addressed filenames, same bytes), and
+    a warm rerun on the *other* kernel must serve everything from cache —
+    the kernel is not part of any cache key.
+    """
+
+    @staticmethod
+    def _campaign(cache_dir, backend, kernel):
+        pytest.importorskip("numpy")
+        with ExecutionEngine(
+            jobs=2, cache_dir=cache_dir, backend=backend, kernel=kernel
+        ) as engine:
+            result = engine.run(scale=SCALE, predictors=PREDICTORS, benchmarks=BENCHMARKS)
+        return result, engine.stats
+
+    @pytest.mark.parametrize("backend", ("serial", "persistent"))
+    def test_vector_cache_byte_identical_to_scalar(self, tmp_path, backend):
+        caches = {}
+        for kernel in ("scalar", "vector"):
+            caches[kernel] = tmp_path / f"cache-{backend}-{kernel}"
+            self._campaign(caches[kernel], backend, kernel)
+        names = _entry_names(caches["scalar"])
+        assert names == _entry_names(caches["vector"])
+        assert names  # non-vacuous: the campaign wrote entries
+        for name in names:
+            assert (caches["scalar"] / name).read_bytes() == (
+                caches["vector"] / name
+            ).read_bytes(), name
+
+    @pytest.mark.parametrize("backend", ("serial", "persistent"))
+    @pytest.mark.parametrize(
+        "cold_kernel,warm_kernel", (("scalar", "vector"), ("vector", "scalar"))
+    )
+    def test_cross_kernel_rerun_fully_cached(
+        self, tmp_path, backend, cold_kernel, warm_kernel
+    ):
+        cache_dir = tmp_path / "cache"
+        cold, _ = self._campaign(cache_dir, backend, cold_kernel)
+        warm, stats = self._campaign(cache_dir, backend, warm_kernel)
+        assert stats.simulations_computed == 0
+        assert stats.traces_computed == 0
+        for benchmark in BENCHMARKS:
+            assert warm.simulations[benchmark] == cold.simulations[benchmark]
+
+    def test_invalid_kernel_rejected_at_construction(self):
+        with pytest.raises(Exception, match="unknown simulation kernel"):
+            ExecutionEngine(kernel="turbo")
+
+
 class TestSweepParity:
     SPEC = SweepSpec(
         benchmark="gcc",
