@@ -365,6 +365,17 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "and cache entries are bit-identical across kernels",
     )
     parser.add_argument(
+        "--shard-window",
+        type=_parse_shard_window,
+        default=None,
+        metavar="N",
+        help="intra-trace sharding: split each trace into windows of N records "
+        "and simulate them in parallel with predictor-state handoff; 'auto' "
+        "sizes windows from the trace length and the backend's parallel "
+        "slots, 0 disables (default: off); results and cache entries are "
+        "bit-identical with sharding on or off",
+    )
+    parser.add_argument(
         "--telemetry-dir",
         default=None,
         metavar="DIR",
@@ -394,6 +405,19 @@ def _parse_age(text: str) -> float:
     if match is None or unit not in _AGE_UNITS:
         raise argparse.ArgumentTypeError(f"invalid age {text!r} (expected e.g. 3600, 30m, 12h)")
     return float(match.group(1)) * _AGE_UNITS[unit]
+
+
+def _parse_shard_window(text: str) -> int | str:
+    """Parse ``--shard-window``: a positive record count, ``auto`` or ``0``."""
+    from repro.engine.sharding import normalize_shard_window
+
+    try:
+        window = normalize_shard_window(text.strip().lower())
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    # 0 normalises to None ("explicitly off"), which argparse cannot
+    # distinguish from the flag being absent — both mean unsharded.
+    return window if window is not None else 0
 
 
 def _parse_workers(text: str) -> tuple[str, ...]:
@@ -462,6 +486,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         workers=args.workers,
         telemetry=telemetry,
         kernel=args.kernel,
+        shard_window=args.shard_window,
     )
     scale = QUICK_SCALE if args.quick and args.scale is None else args.scale
     try:
@@ -550,6 +575,7 @@ def _engine_from_arguments(args: argparse.Namespace, telemetry=None) -> Executio
         workers=args.workers,
         telemetry=telemetry,
         kernel=args.kernel,
+        shard_window=args.shard_window,
     )
 
 
@@ -563,8 +589,14 @@ def _stats_line(stats) -> str:
     line = (
         f"traces: {stats.traces_computed} computed, {stats.traces_cached} cached; "
         f"simulations: {stats.simulations_computed} computed, "
-        f"{stats.simulations_cached} cached; wall time {stats.total_seconds:.2f}s"
+        f"{stats.simulations_cached} cached"
     )
+    if stats.windows_computed or stats.windows_cached:
+        line += (
+            f"; windows: {stats.windows_computed} computed, "
+            f"{stats.windows_cached} cached"
+        )
+    line += f"; wall time {stats.total_seconds:.2f}s"
     line += (
         f" (trace {stats.trace_seconds:.2f}s, simulate {stats.simulate_seconds:.2f}s)"
     )
@@ -684,6 +716,8 @@ def _sweep_as_json(result) -> dict:
             "traces_cached": stats.traces_cached,
             "simulations_computed": stats.simulations_computed,
             "simulations_cached": stats.simulations_cached,
+            "windows_computed": stats.windows_computed,
+            "windows_cached": stats.windows_cached,
             "total_seconds": stats.total_seconds,
             "trace_seconds": stats.trace_seconds,
             "simulate_seconds": stats.simulate_seconds,
@@ -798,9 +832,16 @@ def _command_inspect(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as error:
         print(f"unreadable telemetry run: {error}", file=sys.stderr)
         return 2
+    # Tolerated damage (missing manifest, truncated metrics) is reported
+    # one line per problem; the partial summary still renders below and
+    # the exit code flags the run as incomplete.
+    problems = summary.get("problems", ())
+    for problem in problems:
+        print(f"inspect: {problem}", file=sys.stderr)
+    status = 1 if problems else 0
     if args.json:
         print(json.dumps(summary, indent=2, default=str))
-        return 0
+        return status
 
     manifest = summary["manifest"]
     print(f"run {manifest.get('run_id')} — {manifest.get('command') or 'unknown command'}")
@@ -908,7 +949,7 @@ def _command_inspect(args: argparse.Namespace) -> int:
                 f"re-dispatch: {event.get('units', 0)} unit(s) from "
                 f"{event.get('worker', '?')} ({event.get('reason', 'unknown')})"
             )
-    return 0
+    return status
 
 
 def _command_simulate(args: argparse.Namespace) -> int:

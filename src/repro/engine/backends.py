@@ -81,6 +81,16 @@ class ExecutorBackend:
         """
         raise NotImplementedError
 
+    def parallel_slots(self) -> int:
+        """How many units this backend can usefully run concurrently.
+
+        Used by intra-trace sharding's ``--shard-window auto`` to size
+        windows (:mod:`repro.engine.sharding`); purely advisory — it never
+        affects results, only how work is cut.  In-process backends report
+        1 (sharding a serial run only adds overhead).
+        """
+        return 1
+
     def map(
         self,
         function: Callable[[dict], dict],
@@ -160,6 +170,9 @@ class PoolBackend(ExecutorBackend):
     def inline_payloads(self, task_count: int) -> bool:
         return self.jobs == 1 or task_count <= 1
 
+    def parallel_slots(self) -> int:
+        return self.jobs
+
     def map(self, function, payloads, on_result=None):
         if self.inline_payloads(len(payloads)):
             with self.telemetry.span(
@@ -208,6 +221,9 @@ class PersistentWorkerBackend(ExecutorBackend):
 
     def inline_payloads(self, task_count: int) -> bool:
         return False
+
+    def parallel_slots(self) -> int:
+        return self.jobs
 
     def _ensure_pool(self):
         if self._pool is None:

@@ -637,6 +637,12 @@ class RemoteBackend(ExecutorBackend):
     def inline_payloads(self, task_count: int) -> bool:
         return False
 
+    def parallel_slots(self) -> int:
+        # Each connected worker pipelines up to ``in_flight`` units; lost
+        # workers still count — slots size windows, they never gate
+        # correctness, and the fleet may heal between plans.
+        return max(1, len(self.addresses) * self.in_flight)
+
     # ------------------------------------------------------------------ #
     # Connection management
     # ------------------------------------------------------------------ #

@@ -38,6 +38,12 @@ from repro.engine.codecs import (
 from repro.engine.fingerprint import predictor_signature
 from repro.engine.phases import PhaseSpec, PhaseTask, run_phase
 from repro.engine.progress import NullProgress, ProgressListener
+from repro.engine.sharding import (
+    WindowedUnit,
+    normalize_shard_window,
+    plan_shard_windows,
+    run_windowed_simulations,
+)
 from repro.engine.tasks import TASK_FORMAT_VERSION, SimulateTask, TraceTask
 from repro.engine.telemetry import NULL_TELEMETRY, Telemetry
 from repro.engine.worker import execute_simulate_task, execute_trace_task
@@ -61,6 +67,13 @@ class EngineStats:
     traces_cached: int = 0
     simulations_computed: int = 0
     simulations_cached: int = 0
+    #: Intra-trace sharding accounting (:mod:`repro.engine.sharding`):
+    #: window units computed/served warm.  A sharded pair still records one
+    #: ``simulations`` unit when its stitched result lands, so the
+    #: simulation counters stay comparable across sharded and unsharded
+    #: runs; the window counters are additional detail, not a replacement.
+    windows_computed: int = 0
+    windows_cached: int = 0
     total_seconds: float = 0.0
     trace_seconds: float = 0.0
     simulate_seconds: float = 0.0
@@ -68,7 +81,12 @@ class EngineStats:
     cache_write_bytes: int = 0
 
     #: Phase-counter name -> the field its phase duration accumulates into.
-    _SECONDS_FIELDS = {"traces": "trace_seconds", "simulations": "simulate_seconds"}
+    #: Window (and replay) time is simulate-phase time under a finer knife.
+    _SECONDS_FIELDS = {
+        "traces": "trace_seconds",
+        "simulations": "simulate_seconds",
+        "windows": "simulate_seconds",
+    }
 
     @property
     def tasks_computed(self) -> int:
@@ -153,6 +171,15 @@ class ExecutionEngine:
         ``REPRO_KERNEL`` environment variable.  Kernels are bit-identical,
         so the setting is not part of any cache key; see
         :mod:`repro.simulation.vectorized`.
+    shard_window:
+        Intra-trace sharding setting (:mod:`repro.engine.sharding`):
+        ``None`` (default) runs each (benchmark, predictor) pair as one
+        unit; a positive integer splits every trace into windows of that
+        many records; ``"auto"`` sizes windows from the trace length and
+        the backend's parallel slots.  Results and pair-level cache
+        entries are bit-identical with sharding on or off — the setting
+        only changes how the work is cut, which is why it is not part of
+        any cache key.
     """
 
     def __init__(
@@ -168,6 +195,7 @@ class ExecutionEngine:
         workers: Sequence[str] | None = None,
         telemetry: Telemetry | None = None,
         kernel: str | None = None,
+        shard_window: int | str | None = None,
     ) -> None:
         from repro.simulation.vectorized import resolve_kernel
 
@@ -178,6 +206,7 @@ class ExecutionEngine:
         # enters a cache key because both kernels are bit-identical.
         resolve_kernel(kernel)
         self.kernel = kernel
+        self.shard_window = normalize_shard_window(shard_window)
         self.jobs = max(1, int(jobs))
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cache = (
@@ -416,6 +445,19 @@ class ExecutionEngine:
         shards: dict[str, dict[str, PredictorShard]] = {
             benchmark: {} for benchmark in benchmarks if benchmark not in simulations
         }
+        # Intra-trace sharding: benchmarks whose trace gets a window plan
+        # run through the sharded path (replay + windows + stitch) instead
+        # of the pair-level simulate phase.  Results and pair-level cache
+        # entries are bit-identical either way.
+        shard_plans: dict[str, list[tuple[int, int]]] = {}
+        if self.shard_window is not None:
+            slots = self.backend.parallel_slots()
+            for benchmark in shards:
+                windows = plan_shard_windows(
+                    self.shard_window, len(traces[benchmark]), slots
+                )
+                if windows is not None:
+                    shard_plans[benchmark] = windows
         # Encode each trace for the pool wire at most once, however many
         # predictors are pending over it.
         wire_bytes: dict[str, bytes] = {}
@@ -443,7 +485,7 @@ class ExecutionEngine:
 
         phase_tasks = []
         for benchmark in benchmarks:
-            if benchmark in simulations:
+            if benchmark in simulations or benchmark in shard_plans:
                 continue
             for predictor in predictors:
                 task = SimulateTask(
@@ -473,13 +515,33 @@ class ExecutionEngine:
                 worker=execute_simulate_task,
                 accept_cached=accept_shard,
                 accept_fresh=accept_shard,
-                total=len(benchmarks) * len(predictors),
+                total=(len(benchmarks) - len(shard_plans)) * len(predictors),
                 presatisfied_count=len(simulations) * len(predictors),
                 presatisfied_labels=[
                     f"{benchmark}:*" for benchmark in benchmarks if benchmark in simulations
                 ],
             ),
         )
+
+        if shard_plans:
+            units = [
+                WindowedUnit(
+                    uid=(benchmark, predictor),
+                    label=f"{benchmark}:{predictor}",
+                    benchmark=benchmark,
+                    predictor=predictor,
+                    trace_digest=digests[benchmark],
+                    predictor_signature=signatures[predictor],
+                    windows=tuple(shard_plans[benchmark]),
+                    get_trace=lambda benchmark=benchmark: traces[benchmark],
+                )
+                for benchmark in shard_plans
+                for predictor in predictors
+            ]
+            for (benchmark, predictor), shard in run_windowed_simulations(
+                self, units
+            ).items():
+                shards[benchmark][predictor] = shard
 
         for benchmark in benchmarks:
             if benchmark in simulations:

@@ -54,6 +54,7 @@ from repro.engine.codecs import (
 from repro.engine.fingerprint import predictor_signature, predictors_fingerprint
 from repro.engine.phases import PhaseSpec, PhaseTask, run_phase
 from repro.engine.scheduler import EngineStats
+from repro.engine.sharding import WindowedUnit, plan_shard_windows, run_windowed_simulations
 from repro.engine.tasks import SimulateTask, TraceTask
 from repro.engine.telemetry import TELEMETRY_KEY
 from repro.engine.worker import execute_simulate_task, execute_trace_task
@@ -418,6 +419,28 @@ def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
             )
 
     shards: dict[tuple[str, str], object] = {}
+    # Intra-trace sharding: units whose trace gets a window plan run
+    # through the sharded path (replay + windows + stitch) instead of the
+    # pair-level simulate phase.  Window plans come from the stored
+    # statistics' record counts, so planning never materialises a lazy
+    # trace — a fully warm sharded sweep stays decode-free.
+    windowed: dict[tuple[str, str], WindowedUnit] = {}
+    if engine.shard_window is not None:
+        slots = engine.backend.parallel_slots()
+        for unit, (task, config) in units.items():
+            length = statistics[config].predicted_instructions
+            windows = plan_shard_windows(engine.shard_window, length, slots)
+            if windows is not None:
+                windowed[unit] = WindowedUnit(
+                    uid=unit,
+                    label=_unit_label(units, unit),
+                    benchmark=task.benchmark,
+                    predictor=task.predictor,
+                    trace_digest=task.trace_digest,
+                    predictor_signature=task.predictor_signature,
+                    windows=tuple(windows),
+                    get_trace=traces[config].get,
+                )
     # Encode each trace for the pool wire at most once, however many
     # predictors are pending over it (an order study has one trace under
     # its whole predictor axis).
@@ -453,12 +476,16 @@ def execute_sweep(engine: "ExecutionEngine", spec: SweepSpec) -> SweepResult:
                     ),
                 )
                 for unit, (task, _) in units.items()
+                if unit not in windowed
             ],
             worker=execute_simulate_task,
             accept_cached=accept_shard,
             accept_fresh=accept_shard,
         ),
     )
+
+    if windowed:
+        shards.update(run_windowed_simulations(engine, list(windowed.values())))
 
     # ------------------------------------------------------------------ #
     # Assembly — one result per sweep point, shared units fanned back out
@@ -524,6 +551,7 @@ def run_sweep(
     backend=None,
     workers=None,
     kernel: str | None = None,
+    shard_window: int | str | None = None,
 ) -> SweepResult:
     """Run one sweep on an engine built from the process-wide defaults.
 
@@ -550,6 +578,7 @@ def run_sweep(
         backend=backend,
         workers=workers,
         kernel=kernel,
+        shard_window=shard_window,
     )
     try:
         result = engine.run_sweep(spec)

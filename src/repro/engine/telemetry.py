@@ -420,15 +420,70 @@ def read_metrics(directory: str | Path) -> Iterator[dict]:
                 yield record
 
 
+def _collect_metrics(directory: Path, problems: list[str]) -> list[dict]:
+    """Read ``metrics.jsonl`` tolerantly, describing damage in ``problems``.
+
+    A missing or unreadable file and malformed lines become one-line
+    problem descriptions instead of exceptions, so ``summarize_run`` can
+    still render whatever part of the run *was* recorded.  Raises
+    :class:`FileNotFoundError` only when the file is absent — the caller
+    decides whether that alone makes the directory "not a run".
+    """
+    records: list[dict] = []
+    malformed = 0
+    with open(directory / METRICS_NAME, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                malformed += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                malformed += 1
+    if malformed:
+        problems.append(
+            f"{METRICS_NAME} is damaged: skipped {malformed} malformed line(s) "
+            "(truncated or interleaved write?)"
+        )
+    return records
+
+
 def summarize_run(directory: str | Path) -> dict:
     """Aggregate a run directory into the structure ``repro-vp inspect`` renders.
 
     Returns a plain dict (JSON-renderable) with the manifest, per-phase
     breakdown, per-task spans sorted slowest-first, cache counters with a
-    derived hit ratio, per-worker utilization records and the raw counter
-    totals.
+    derived hit ratio, per-worker utilization records, the raw counter
+    totals and a ``problems`` list describing any damage tolerated along
+    the way (missing or truncated files).  A directory with *neither*
+    manifest nor metrics raises :class:`FileNotFoundError` — that is not a
+    run directory at all; anything less makes a partial summary.
     """
-    manifest = read_manifest(directory)
+    directory = Path(directory)
+    problems: list[str] = []
+    manifest: dict = {}
+    try:
+        manifest = read_manifest(directory)
+    except FileNotFoundError:
+        problems.append(f"missing {MANIFEST_NAME}")
+    except (OSError, ValueError) as error:
+        problems.append(f"unreadable {MANIFEST_NAME}: {error}")
+    records: list[dict] = []
+    try:
+        records = _collect_metrics(directory, problems)
+    except FileNotFoundError:
+        if f"missing {MANIFEST_NAME}" in problems:
+            raise FileNotFoundError(
+                f"{directory} contains neither {MANIFEST_NAME} nor {METRICS_NAME}"
+            ) from None
+        problems.append(f"missing {METRICS_NAME}: no metrics were recorded")
+    except OSError as error:
+        problems.append(f"unreadable {METRICS_NAME}: {error}")
     phases: list[dict] = []
     tasks: list[dict] = []
     runs: list[dict] = []
@@ -436,7 +491,7 @@ def summarize_run(directory: str | Path) -> dict:
     workers: list[dict] = []
     redispatches: list[dict] = []
     counters: dict[str, int | float] = {}
-    for record in read_metrics(directory):
+    for record in records:
         kind, name = record.get("type"), record.get("name")
         attrs = record.get("attrs") or {}
         if kind == "counter":
@@ -459,6 +514,7 @@ def summarize_run(directory: str | Path) -> dict:
     probes = hits + misses
     return {
         "manifest": manifest,
+        "problems": problems,
         "runs": runs,
         "phases": phases,
         "tasks": tasks,

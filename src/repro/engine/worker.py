@@ -122,6 +122,117 @@ def execute_simulate_task(payload: dict) -> dict:
     }
 
 
+def _check_signature(payload: dict) -> str:
+    """Validate the payload's expected predictor signature; returns the name."""
+    name = payload["predictor"]
+    expected_signature = payload.get("signature")
+    if expected_signature is not None:
+        local_signature = create_predictor(name).config_signature()
+        if local_signature != expected_signature:
+            raise SimulationError(
+                f"predictor {name!r} is configured differently in this worker: "
+                f"expected signature {expected_signature!r}, got {local_signature!r}"
+            )
+    return name
+
+
+def _payload_records(payload: dict):
+    """Materialise the payload's trace (inline, v3 bytes or text fallback)."""
+    trace = payload.get("trace")
+    if trace is None:
+        trace_bytes = payload.get("trace_bytes")
+        if trace_bytes is not None:
+            trace = loads_trace_binary(trace_bytes)
+        else:
+            trace = loads_trace(payload["trace_text"])
+    return trace
+
+
+def execute_replay_task(payload: dict) -> dict:
+    """Snapshot predictor states at window boundaries of one trace prefix.
+
+    ``boundaries`` is an ascending list of window start offsets (> 0); the
+    shipped trace covers at least ``[0, boundaries[-1])``.  One pass of
+    update-only replay (:func:`repro.simulation.state.replay_records`)
+    advances a fresh predictor across the prefix, snapshotting at each
+    boundary, so *n* windows cost one replay — not *n* re-replays.  The
+    ``SIMULATION_COUNTER`` is never touched: a replay derives handoff
+    state, it does not simulate.
+    """
+    from repro.simulation.state import replay_records, snapshot_predictor
+
+    started = time.perf_counter()
+    name = _check_signature(payload)
+    trace = _payload_records(payload)
+    records = trace.records
+    predictor = create_predictor(name)
+    states: dict[str, dict] = {}
+    position = 0
+    for start in payload["boundaries"]:
+        replay_records(predictor, records[position:start])
+        position = start
+        # JSON-safe keys: the remote wire would stringify them anyway, so
+        # every transport hands the parent the same mapping shape.
+        states[str(start)] = snapshot_predictor(predictor)
+    return {
+        "states": states,
+        TELEMETRY_KEY: _telemetry_sidecar("replay", started),
+    }
+
+
+def execute_simulate_window_task(payload: dict) -> dict:
+    """Simulate one predictor over one trace window from a handed-off state.
+
+    The shipped trace is the ``[start, stop)`` slice itself; ``state`` is
+    the predecessor boundary's snapshot (``None`` exactly when ``start``
+    is 0).  Windows always run the reference scalar observe loop — the
+    columnar kernel cannot start from mid-trace state, and kernels are
+    bit-identical, so a sharded run under ``--kernel vector`` still equals
+    the unsharded vector run.  ``kernel`` is resolved for validation only,
+    keeping configuration errors as loud as on the unsharded path.  The
+    counter increments once per pair — on the first window — matching the
+    unsharded run's accounting.
+    """
+    from repro.simulation.simulator import (
+        SIMULATION_COUNTER,
+        PredictorResult,
+        PredictorShard,
+        pack_outcomes,
+    )
+    from repro.simulation.state import restore_predictor
+
+    started = time.perf_counter()
+    resolve_kernel(payload.get("kernel"))
+    name = _check_signature(payload)
+    trace = _payload_records(payload)
+    start, stop = payload["window"]
+    predictor = create_predictor(name)
+    state = payload.get("state")
+    if state is not None:
+        restore_predictor(predictor, state)
+    if start == 0:
+        SIMULATION_COUNTER.increment()
+    result = PredictorResult(predictor=name)
+    outcomes: list[bool] = []
+    for record in trace.records:
+        category = record.category
+        correct = predictor.observe(record.pc, record.value, category)
+        outcomes.append(correct)
+        result.total += 1
+        result.category_total[category] = result.category_total.get(category, 0) + 1
+        if correct:
+            result.correct += 1
+            result.category_correct[category] = result.category_correct.get(category, 0) + 1
+            result.pc_correct[record.pc] = result.pc_correct.get(record.pc, 0) + 1
+    shard = PredictorShard(
+        result=result, correctness=pack_outcomes(outcomes), record_count=len(trace)
+    )
+    return {
+        "shard": shard_to_dict(shard),
+        TELEMETRY_KEY: _telemetry_sidecar("simulate-window", started),
+    }
+
+
 #: Worker functions addressable *by name* over the remote worker protocol
 #: (:mod:`repro.engine.remote`).  A remote dispatch ships the registry key
 #: instead of a pickled callable, so engine and worker only have to agree
@@ -130,6 +241,8 @@ def execute_simulate_task(payload: dict) -> dict:
 WORKER_FUNCTIONS = {
     "trace": execute_trace_task,
     "simulate": execute_simulate_task,
+    "replay": execute_replay_task,
+    "simulate-window": execute_simulate_window_task,
 }
 
 

@@ -81,6 +81,11 @@ class EngineDefaults:
     #: defers to the ``REPRO_KERNEL`` environment variable.  Never part of
     #: cache keys — kernels are bit-identical.
     kernel: str | None = None
+    #: Intra-trace sharding window (:mod:`repro.engine.sharding`):
+    #: ``None`` (off), a positive record count, or ``"auto"``.  Like the
+    #: kernel, never part of cache keys — sharded and unsharded runs are
+    #: bit-identical.
+    shard_window: int | str | None = None
 
 
 _CACHE: dict[tuple, CampaignResult] = {}
@@ -111,14 +116,15 @@ def set_campaign_defaults(
     workers: tuple[str, ...] | None = None,
     telemetry: object | None = None,
     kernel: str | None = None,
+    shard_window: int | str | None = None,
 ) -> None:
     """Configure the engine used by default for subsequent campaigns/sweeps.
 
     The CLI routes ``--jobs``/``--cache-dir``/``--no-cache``/
     ``--cache-format``/``--cache-max-bytes``/``--cache-max-age``/
-    ``--backend``/``--workers``/``--kernel`` through here so that the
-    experiment entry points — whose signatures only carry ``scale`` —
-    still execute on the configured engine.
+    ``--backend``/``--workers``/``--kernel``/``--shard-window`` through
+    here so that the experiment entry points — whose signatures only carry
+    ``scale`` — still execute on the configured engine.
     """
     if jobs is not None:
         _ENGINE_DEFAULTS.jobs = max(1, int(jobs))
@@ -140,6 +146,8 @@ def set_campaign_defaults(
         _ENGINE_DEFAULTS.telemetry = telemetry
     if kernel is not None:
         _ENGINE_DEFAULTS.kernel = kernel
+    if shard_window is not None:
+        _ENGINE_DEFAULTS.shard_window = shard_window
 
 
 def reset_campaign_defaults() -> None:
@@ -154,6 +162,7 @@ def reset_campaign_defaults() -> None:
     _ENGINE_DEFAULTS.workers = None
     _ENGINE_DEFAULTS.telemetry = None
     _ENGINE_DEFAULTS.kernel = None
+    _ENGINE_DEFAULTS.shard_window = None
     for shared in _SHARED_BACKENDS.values():
         shared.close()
     _SHARED_BACKENDS.clear()
@@ -174,6 +183,7 @@ def build_engine(
     workers: tuple[str, ...] | None = None,
     telemetry=None,
     kernel: str | None = None,
+    shard_window: int | str | None = None,
 ):
     """Construct an :class:`ExecutionEngine` from the process-wide defaults.
 
@@ -220,6 +230,9 @@ def build_engine(
         workers=workers,
         telemetry=_ENGINE_DEFAULTS.telemetry if telemetry is None else telemetry,
         kernel=_ENGINE_DEFAULTS.kernel if kernel is None else kernel,
+        shard_window=(
+            _ENGINE_DEFAULTS.shard_window if shard_window is None else shard_window
+        ),
     )
 
 
@@ -246,6 +259,7 @@ def run_campaign(
     backend: str | None = None,
     workers: tuple[str, ...] | None = None,
     kernel: str | None = None,
+    shard_window: int | str | None = None,
 ) -> CampaignResult:
     """Trace every benchmark and simulate every predictor over each trace.
 
@@ -274,6 +288,7 @@ def run_campaign(
         backend=backend,
         workers=workers,
         kernel=kernel,
+        shard_window=shard_window,
     )
     try:
         result = engine.run(
