@@ -165,9 +165,10 @@ def test_bench_engine_persistent_backend_reruns(benchmark):
 _SHARD_BENCHMARK = ("compress",)
 
 
-def _run_single_benchmark(jobs: int, backend=None, shard_window=None):
+def _run_single_benchmark(jobs: int, backend=None, shard_window=None, kernel=None):
     engine = ExecutionEngine(
-        jobs=jobs, use_cache=False, backend=backend, shard_window=shard_window
+        jobs=jobs, use_cache=False, backend=backend, shard_window=shard_window,
+        kernel=kernel,
     )
     result = engine.run(
         scale=SCALE, predictors=PAPER_PREDICTORS, benchmarks=_SHARD_BENCHMARK
@@ -210,6 +211,32 @@ def test_bench_engine_single_benchmark_sharded(benchmark):
         jobs=jobs,
         backend="pool",
         shard_window="auto",
+    )
+    assert engine.stats.simulations_computed == len(PAPER_PREDICTORS)
+    assert engine.stats.windows_computed > 0
+    assert set(result.simulations) == set(_SHARD_BENCHMARK)
+    _report(engine)
+
+
+def test_bench_engine_single_benchmark_sharded_vector(benchmark):
+    """Sharded campaign with the vector kernel inside each window task.
+
+    Window tasks restore the handed-off predictor snapshot and run the
+    vector plan over their slice, so the intra-trace parallel speedup and
+    the per-window kernel speedup multiply.  Paired with the scalar
+    sharded point above.
+    """
+    if not _MULTICORE:
+        pytest.skip("the sharded/unsharded pair needs real parallel hardware")
+    pytest.importorskip("numpy")
+    jobs = min(4, os.cpu_count() or 1)
+    engine, result = run_once(
+        benchmark,
+        _run_single_benchmark,
+        jobs=jobs,
+        backend="pool",
+        shard_window="auto",
+        kernel="vector",
     )
     assert engine.stats.simulations_computed == len(PAPER_PREDICTORS)
     assert engine.stats.windows_computed > 0
@@ -268,6 +295,49 @@ def test_bench_engine_cold_simulate_kernel_axis(benchmark, wire_blobs, kernel):
         pytest.importorskip("numpy")
     computed = run_once(benchmark, _cold_simulate, wire_blobs, kernel)
     assert computed == len(wire_blobs) * len(PAPER_PREDICTORS)
+
+
+def _cold_simulate_names(blobs: dict, names: tuple, kernel: str) -> int:
+    """Cold simulate of specific configurations over every suite trace."""
+    from repro.simulation.simulator import SIMULATION_COUNTER, simulate_shard
+    from repro.simulation.vectorized import simulate_shard_vector
+    from repro.trace.io import decode_trace_columns, loads_trace_binary
+
+    SIMULATION_COUNTER.reset()
+    for blob in blobs.values():
+        if kernel == "vector":
+            columns = decode_trace_columns(blob)
+            for name in names:
+                assert simulate_shard_vector(columns, name) is not None
+        else:
+            trace = loads_trace_binary(blob)
+            for name in names:
+                simulate_shard(trace, name, kernel="scalar")
+    return SIMULATION_COUNTER.count
+
+
+#: Configurations the vector kernel could not run before the counter and
+#: hybrid plans landed — each pair's scalar/vector ratio is their speedup.
+_COUNTER_CONFIGS = ("lv-counter", "lv-consecutive", "stride-counter")
+_HYBRID_CONFIGS = ("hybrid-s2-fcm3", "hybrid-type-s2-fcm3", "hybrid-oracle")
+
+
+@pytest.mark.parametrize("kernel", ["scalar", "vector"])
+def test_bench_engine_cold_simulate_counter_configs(benchmark, wire_blobs, kernel):
+    """Saturating-counter/hysteresis configs per kernel (lockstep scans)."""
+    if kernel == "vector":
+        pytest.importorskip("numpy")
+    computed = run_once(benchmark, _cold_simulate_names, wire_blobs, _COUNTER_CONFIGS, kernel)
+    assert computed == len(wire_blobs) * len(_COUNTER_CONFIGS)
+
+
+@pytest.mark.parametrize("kernel", ["scalar", "vector"])
+def test_bench_engine_cold_simulate_hybrid_configs(benchmark, wire_blobs, kernel):
+    """Hybrid (two-level selector) configs per kernel (composed plans)."""
+    if kernel == "vector":
+        pytest.importorskip("numpy")
+    computed = run_once(benchmark, _cold_simulate_names, wire_blobs, _HYBRID_CONFIGS, kernel)
+    assert computed == len(wire_blobs) * len(_HYBRID_CONFIGS)
 
 
 # --------------------------------------------------------------------------- #

@@ -893,6 +893,24 @@ def _command_inspect(args: argparse.Namespace) -> int:
             )
         )
 
+    kernels = summary.get("kernels") or {}
+    if kernels.get("tasks") or kernels.get("fallback_total"):
+        parts = [
+            f"{count} task(s) on {kernel}"
+            for kernel, count in sorted(kernels.get("tasks", {}).items())
+        ]
+        print()
+        print(f"kernels: {', '.join(parts) if parts else 'no kernel reports'}")
+        fallbacks = kernels.get("fallbacks_by_predictor") or {}
+        if fallbacks:
+            detail = ", ".join(
+                f"{predictor} ×{count}" for predictor, count in fallbacks.items()
+            )
+            print(
+                f"  vector→scalar fallbacks: {kernels.get('fallback_total', 0)} "
+                f"({detail})"
+            )
+
     cache = summary["cache"]
     print()
     if cache["hits"] or cache["misses"] or cache["writes"]:

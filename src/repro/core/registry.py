@@ -50,6 +50,18 @@ def available_predictors() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def registered_factory(name: str) -> PredictorFactory | None:
+    """Return the registered factory for ``name``, or ``None``.
+
+    Dynamic ``fcmN*`` spellings resolve to ``None`` as well: they have no
+    registry entry to rebind, so callers may treat them as immutable.  The
+    returned object doubles as a cache-validity token — re-registering a
+    name (``overwrite=True``) swaps the factory object and thereby
+    invalidates anything keyed on the old one.
+    """
+    return _REGISTRY.get(name)
+
+
 def create_predictor(name: str) -> ValuePredictor:
     """Instantiate a fresh predictor by registered name.
 

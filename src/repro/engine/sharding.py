@@ -18,8 +18,10 @@ composed result **bit-identical** to the monolithic simulation:
    simulation pass, so the sharded critical path stays well under the
    monolithic one;
 3. **windows** — each window runs as a ``simulate-window`` unit (cached
-   under its own kind), restoring the handed-off state and running the
-   reference observe loop over its slice;
+   under its own kind), restoring the handed-off state and simulating its
+   slice on the engine's kernel: the vector kernel seeds its plan from
+   the restored snapshot (:mod:`repro.simulation.vectorized`), the scalar
+   kernel — or a plan that declines — runs the reference observe loop;
 4. **stitch** — :func:`merge_window_shards` concatenates the window shards
    back into one :class:`~repro.simulation.simulator.PredictorShard`,
    reproducing the unsharded shard exactly — including the dict insertion

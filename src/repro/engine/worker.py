@@ -23,7 +23,13 @@ from repro.simulation.vectorized import resolve_kernel
 from repro.workloads.suite import get_workload
 
 
-def _telemetry_sidecar(function: str, started_perf: float) -> dict:
+def _telemetry_sidecar(
+    function: str,
+    started_perf: float,
+    kernel: str | None = None,
+    fallback: bool | None = None,
+    predictor: str | None = None,
+) -> dict:
     """The observability sidecar every worker outcome carries.
 
     Worker-side execute time is measured here — on the worker's own
@@ -31,12 +37,24 @@ def _telemetry_sidecar(function: str, started_perf: float) -> dict:
     inside the outcome under the reserved :data:`TELEMETRY_KEY`.  The
     phase executor strips the key before the outcome is decoded or
     cached, so cache entries and results never contain it.
+
+    Simulation tasks also report ``kernel`` — the kernel that *actually*
+    ran, after any scalar fallback — and ``kernel_fallback``, true when
+    the vector kernel was requested but this task ran the scalar loop.
+    An ``--kernel auto`` run silently degrading to scalar is a mystery
+    slowdown without this.
     """
-    return {
+    sidecar = {
         "function": function,
         "execute_seconds": time.perf_counter() - started_perf,
         "pid": os.getpid(),
     }
+    if kernel is not None:
+        sidecar["kernel"] = kernel
+        sidecar["kernel_fallback"] = bool(fallback)
+    if predictor is not None:
+        sidecar["predictor"] = predictor
+    return sidecar
 
 
 def execute_trace_task(payload: dict) -> dict:
@@ -102,23 +120,32 @@ def execute_simulate_task(payload: dict) -> dict:
     shard = None
     trace = payload.get("trace")
     trace_bytes = payload.get("trace_bytes") if trace is None else None
-    if trace is None and trace_bytes is not None and kernel == "vector":
+    if kernel == "vector":
         from repro.simulation.vectorized import simulate_shard_vector
-        from repro.trace.io import decode_trace_columns
+        from repro.trace.io import decode_trace_columns, trace_columns
 
-        columns = decode_trace_columns(trace_bytes)
+        columns = None
+        if trace is None and trace_bytes is not None:
+            columns = decode_trace_columns(trace_bytes)
+        if columns is None:
+            trace = _payload_records(payload)
+            columns = trace_columns(trace)
         if columns is not None:
             shard = simulate_shard_vector(columns, name)
+    fallback = kernel == "vector" and shard is None
     if shard is None:
         if trace is None:
-            if trace_bytes is not None:
-                trace = loads_trace_binary(trace_bytes)
-            else:
-                trace = loads_trace(payload["trace_text"])
-        shard = simulate_shard(trace, name, kernel=kernel)
+            trace = _payload_records(payload)
+        shard = simulate_shard(trace, name, kernel="scalar")
     return {
         "shard": shard_to_dict(shard),
-        TELEMETRY_KEY: _telemetry_sidecar("simulate", started),
+        TELEMETRY_KEY: _telemetry_sidecar(
+            "simulate",
+            started,
+            kernel="scalar" if fallback else kernel,
+            fallback=fallback,
+            predictor=name,
+        ),
     }
 
 
@@ -185,12 +212,11 @@ def execute_simulate_window_task(payload: dict) -> dict:
 
     The shipped trace is the ``[start, stop)`` slice itself; ``state`` is
     the predecessor boundary's snapshot (``None`` exactly when ``start``
-    is 0).  Windows always run the reference scalar observe loop — the
-    columnar kernel cannot start from mid-trace state, and kernels are
-    bit-identical, so a sharded run under ``--kernel vector`` still equals
-    the unsharded vector run.  ``kernel`` is resolved for validation only,
-    keeping configuration errors as loud as on the unsharded path.  The
-    counter increments once per pair — on the first window — matching the
+    is 0).  Under the ``"vector"`` kernel the columnar plan starts from
+    the restored snapshot (:func:`simulate_shard_vector` with ``state``),
+    so ``--kernel vector --shard-window auto`` compose; the scalar observe
+    loop below remains the reference and the fallback.  The counter
+    increments once per pair — on the first window — matching the
     unsharded run's accounting.
     """
     from repro.simulation.simulator import (
@@ -202,10 +228,39 @@ def execute_simulate_window_task(payload: dict) -> dict:
     from repro.simulation.state import restore_predictor
 
     started = time.perf_counter()
-    resolve_kernel(payload.get("kernel"))
+    kernel = resolve_kernel(payload.get("kernel"))
     name = _check_signature(payload)
-    trace = _payload_records(payload)
     start, stop = payload["window"]
+    shard = None
+    trace = payload.get("trace")
+    if kernel == "vector":
+        from repro.simulation.vectorized import simulate_shard_vector
+        from repro.trace.io import decode_trace_columns, trace_columns
+
+        columns = None
+        trace_bytes = payload.get("trace_bytes") if trace is None else None
+        if trace is None and trace_bytes is not None:
+            columns = decode_trace_columns(trace_bytes)
+        if columns is None:
+            trace = _payload_records(payload)
+            columns = trace_columns(trace)
+        if columns is not None:
+            shard = simulate_shard_vector(
+                columns,
+                name,
+                state=payload.get("state"),
+                count_simulation=start == 0,
+            )
+    fallback = kernel == "vector" and shard is None
+    if shard is not None:
+        return {
+            "shard": shard_to_dict(shard),
+            TELEMETRY_KEY: _telemetry_sidecar(
+                "simulate-window", started, kernel=kernel, fallback=False, predictor=name
+            ),
+        }
+    if trace is None:
+        trace = _payload_records(payload)
     predictor = create_predictor(name)
     state = payload.get("state")
     if state is not None:
@@ -229,7 +284,13 @@ def execute_simulate_window_task(payload: dict) -> dict:
     )
     return {
         "shard": shard_to_dict(shard),
-        TELEMETRY_KEY: _telemetry_sidecar("simulate-window", started),
+        TELEMETRY_KEY: _telemetry_sidecar(
+            "simulate-window",
+            started,
+            kernel="scalar" if fallback else kernel,
+            fallback=fallback,
+            predictor=name,
+        ),
     }
 
 

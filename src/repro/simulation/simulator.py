@@ -237,8 +237,10 @@ def simulate_shard(
     in the lockstep loop: predictor tables are private, so no other
     predictor can influence them.  Under the ``"vector"`` kernel (see
     :func:`simulate_trace`) the columnar kernel computes the same shard —
-    identical down to the dict insertion orders the cache serialises —
-    falling back to this scalar loop for configurations it does not cover.
+    identical down to the dict insertion orders the cache serialises.
+    Every registered configuration has a vector plan; this scalar loop
+    remains the golden reference and the fallback when a plan declines at
+    runtime (e.g. a pathological trace tripping a depth guard).
     """
     from repro.simulation.vectorized import resolve_kernel
 

@@ -23,6 +23,12 @@ that make the handoff exact:
 * :func:`restore_predictor` — rebuild a fresh predictor's tables from a
   snapshot, inserting keys in the recorded order.
 
+Snapshots feed both kernels: the scalar window path restores a predictor
+object and runs the reference observe loop, while the vector kernel's
+plans (:mod:`repro.simulation.vectorized`) consume the snapshot dict
+directly — seeding per-group state arrays and virtual-record prefixes —
+so ``--kernel vector`` composes with ``--shard-window``.
+
 Snapshots are a transport format between one replay and the windows it
 feeds, not a cache format: they are never persisted, so the encoding can
 evolve freely with the predictor classes (both travel inside one

@@ -400,6 +400,34 @@ class TestEngineSharding:
             assert engine.stats.windows_computed > 0
         assert _dump(mixed) == _dump(reference)
 
+    def test_sharded_vector_matches_unsharded_scalar_cache_bytes(self, tmp_path):
+        # The acceptance bar for vector-windowed execution: a sharded run
+        # on the vector kernel writes the same pair-level (and merge)
+        # entries, byte for byte, as an unsharded scalar run.
+        pytest.importorskip("numpy")
+        reference, _, scalar_dir = _campaign(tmp_path, "scalar", jobs=1, kernel="scalar")
+        sharded, stats, vector_dir = _campaign(
+            tmp_path, "vector-sharded", jobs=1, kernel="vector", shard_window=400
+        )
+        assert _dump(sharded) == _dump(reference)
+        assert stats.windows_computed > 0
+        assert _entry_bytes(vector_dir, exclude_kinds=("simulate-window",)) == (
+            _entry_bytes(scalar_dir)
+        )
+
+    def test_window_entries_bit_identical_across_kernels(self, tmp_path):
+        # Same sharding, different kernels: every cache kind — the
+        # per-window entries included — must match byte for byte.
+        pytest.importorskip("numpy")
+        _, _, scalar_dir = _campaign(
+            tmp_path, "win-scalar", jobs=1, kernel="scalar", shard_window=400
+        )
+        _, stats, vector_dir = _campaign(
+            tmp_path, "win-vector", jobs=1, kernel="vector", shard_window=400
+        )
+        assert stats.windows_computed > 0
+        assert _entry_bytes(vector_dir) == _entry_bytes(scalar_dir)
+
     def test_sweep_sharded_parity(self, tmp_path):
         spec = SweepSpec(benchmark="compress", scale=SCALE, predictors=PREDICTORS)
         with ExecutionEngine(jobs=1) as engine:

@@ -155,18 +155,40 @@ class TestShardParity:
     def test_every_predictor_every_scenario(self, scenario, name):
         assert_shard_parity(synthetic_trace(*scenario), name)
 
-    def test_paper_predictors_have_vector_plans(self):
+    def test_every_name_has_a_vector_plan(self):
         # Guard against the parity tests comparing scalar against a silent
-        # scalar fallback: the campaign line-up must have real plans.
-        for name in PAPER_PREDICTORS + ("l", "s", "stride", "s2", "fcm2-single"):
+        # scalar fallback: every registered name — and every dynamic fcm
+        # spelling — must have a real plan.
+        for name in ALL_NAMES + ("fcm5-single", "fcm6-small", "fcm1-full"):
             assert vectorized.vector_plan(name) is not None, name
-        for name in ("lv-counter", "stride-counter", "hybrid-oracle", "fcm2-small", "fcm2-full"):
-            assert vectorized.vector_plan(name) is None, name
 
     def test_vector_kernel_actually_engages(self):
         columns = trace_columns(synthetic_trace(*SCENARIOS[0]))
         assert columns is not None
         assert vectorized.simulate_shard_vector(columns, "fcm2") is not None
+
+    def test_vector_plan_memoized_per_registry_name(self):
+        from repro.core.registry import register_predictor, registered_factory
+        from repro.core.last_value import LastValuePredictor
+
+        assert vectorized.vector_plan("lv-counter") is vectorized.vector_plan("lv-counter")
+        assert vectorized.vector_plan("fcm5") is vectorized.vector_plan("fcm5")
+        original = registered_factory("lv-counter")
+        first = vectorized.vector_plan("lv-counter")
+        register_predictor(
+            "lv-counter",
+            lambda: LastValuePredictor(
+                hysteresis="counter", counter_max=1, counter_threshold=1
+            ),
+            overwrite=True,
+        )
+        try:
+            # Re-binding the name swaps the factory token, so the memoised
+            # plan must be rebuilt for the new configuration.
+            assert vectorized.vector_plan("lv-counter") is not first
+        finally:
+            register_predictor("lv-counter", original, overwrite=True)
+        assert vectorized.vector_plan("lv-counter") is not None
 
 
 @requires_numpy
@@ -266,6 +288,174 @@ class TestEdgeCases:
         assert decoded.categories == reference.categories
         for field in ("serials", "pcs", "values", "category_codes"):
             assert np.array_equal(getattr(decoded, field), getattr(reference, field)), field
+
+
+@pytest.fixture
+def temporary_predictor():
+    """Register throwaway configurations; pop them again on teardown."""
+    from repro.core import registry
+
+    names: list[str] = []
+
+    def _register(name: str, factory) -> str:
+        registry.register_predictor(name, factory)
+        names.append(name)
+        return name
+
+    yield _register
+    for name in names:
+        registry._REGISTRY.pop(name, None)
+        vectorized._PLAN_CACHE.pop(name, None)
+
+
+@requires_numpy
+class TestCounterEdges:
+    """Saturation-counter boundaries: counter_max=1 and threshold==counter_max."""
+
+    def _cases(self):
+        from repro.core.last_value import LastValuePredictor
+        from repro.core.stride import CounterStridePredictor
+
+        return (
+            ("edge-lv-m1", lambda: LastValuePredictor(
+                hysteresis="counter", counter_max=1, counter_threshold=1)),
+            ("edge-lv-tmax", lambda: LastValuePredictor(
+                hysteresis="counter", counter_max=3, counter_threshold=3)),
+            ("edge-lv-run1", lambda: LastValuePredictor(
+                hysteresis="consecutive", required_run=1)),
+            ("edge-sc-m1", lambda: CounterStridePredictor(counter_max=1, threshold=1)),
+            ("edge-sc-tmax", lambda: CounterStridePredictor(counter_max=3, threshold=3)),
+        )
+
+    def test_counter_boundary_parity(self, temporary_predictor):
+        for name, factory in self._cases():
+            temporary_predictor(name, factory)
+            for scenario in SCENARIOS[:4]:
+                assert_shard_parity(synthetic_trace(*scenario), name)
+
+    def test_counter_boundary_hot_pc(self, temporary_predictor):
+        # A value flip-flop drives the counter across every saturation and
+        # replacement edge on a single entry.
+        values = (5, 5, 5, 9, 5, 9, 9, 5, 5, 9, 9, 9, 5, 13, 13, 5, 9)
+        triples = [(0x40, Opcode.ADD, value) for value in values]
+        for name, factory in self._cases():
+            temporary_predictor(name, factory)
+            assert_shard_parity(_edge_trace("flipflop", triples), name)
+
+
+def _scalar_window_shard(name: str, state, tail: ValueTrace):
+    """The reference scalar window loop (mirrors the worker's fallback)."""
+    from repro.core.registry import create_predictor
+    from repro.simulation.simulator import (
+        PredictorResult,
+        PredictorShard,
+        pack_outcomes,
+    )
+    from repro.simulation.state import restore_predictor
+
+    predictor = create_predictor(name)
+    if state is not None:
+        restore_predictor(predictor, state)
+    result = PredictorResult(predictor=name)
+    outcomes = []
+    for record in tail.records:
+        category = record.category
+        correct = predictor.observe(record.pc, record.value, category)
+        outcomes.append(correct)
+        result.total += 1
+        result.category_total[category] = result.category_total.get(category, 0) + 1
+        if correct:
+            result.correct += 1
+            result.category_correct[category] = result.category_correct.get(category, 0) + 1
+            result.pc_correct[record.pc] = result.pc_correct.get(record.pc, 0) + 1
+    return PredictorShard(
+        result=result, correctness=pack_outcomes(outcomes), record_count=len(tail)
+    )
+
+
+def assert_window_parity(trace: ValueTrace, name: str, split: int) -> None:
+    """Vector plan started from a mid-trace snapshot == scalar continuation."""
+    from repro.core.registry import create_predictor
+    from repro.simulation.state import replay_records, snapshot_predictor
+
+    predictor = create_predictor(name)
+    replay_records(predictor, trace.records[:split])
+    state = snapshot_predictor(predictor)
+    # The snapshot crosses a JSON wire in the engine; round-trip it so any
+    # representation the codec cannot carry shows up as a parity break.
+    state = json.loads(json.dumps(state))
+    tail = ValueTrace(trace.name, trace.records[split:])
+    scalar = _scalar_window_shard(name, state, tail)
+    columns = trace_columns(tail)
+    assert columns is not None
+    vector = vectorized.simulate_shard_vector(
+        columns, name, state=state, count_simulation=False
+    )
+    assert vector is not None, f"{name} fell back to scalar for the window"
+    assert json.dumps(shard_to_dict(scalar)) == json.dumps(shard_to_dict(vector))
+
+
+@requires_numpy
+class TestWindowedVectorParity:
+    """Plans started from restored snapshots — the sharded-run composition."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_every_predictor_from_snapshot(self, name):
+        trace = synthetic_trace(*SCENARIOS[4])
+        for split in (1, 7, len(trace) // 2, len(trace) - 1):
+            assert_window_parity(trace, name, split)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_three_window_stitch_matches_monolithic(self, name):
+        # Chained snapshots across two interior boundaries: the stitched
+        # windows must reproduce the unsharded shard bit-exactly.
+        from repro.engine.sharding import merge_window_shards
+        from repro.core.registry import create_predictor
+        from repro.simulation.state import replay_records, snapshot_predictor
+
+        trace = synthetic_trace(*SCENARIOS[5])
+        length = len(trace)
+        cuts = (0, length // 3, 2 * length // 3, length)
+        predictor = create_predictor(name)
+        parts = []
+        for start, stop in zip(cuts, cuts[1:]):
+            state = None
+            if start:
+                state = json.loads(json.dumps(snapshot_predictor(predictor)))
+            window = ValueTrace(trace.name, trace.records[start:stop])
+            columns = trace_columns(window)
+            shard = vectorized.simulate_shard_vector(
+                columns, name, state=state, count_simulation=False
+            )
+            assert shard is not None, name
+            parts.append(shard)
+            replay_records(predictor, window.records)
+        stitched = merge_window_shards(name, parts)
+        reference = simulate_shard(trace, name, kernel="scalar")
+        assert json.dumps(shard_to_dict(stitched)) == json.dumps(shard_to_dict(reference))
+
+    def test_counter_state_straddles_boundary(self, temporary_predictor):
+        from repro.core.last_value import LastValuePredictor
+        from repro.core.stride import CounterStridePredictor
+
+        # Splits landing mid-saturation: the snapshot must carry partially
+        # saturated counters (and candidate runs) bit-exactly.
+        values = (5, 5, 5, 5, 9, 9, 5, 9, 9, 9, 9, 5, 5, 9, 13, 13, 13, 5)
+        triples = [(0x40, Opcode.LW, value) for value in values]
+        trace = _edge_trace("straddle", triples)
+        cases = (
+            ("edge-w-lv", lambda: LastValuePredictor(
+                hysteresis="counter", counter_max=3, counter_threshold=2)),
+            ("edge-w-lv1", lambda: LastValuePredictor(
+                hysteresis="counter", counter_max=1, counter_threshold=1)),
+            ("edge-w-cons", lambda: LastValuePredictor(
+                hysteresis="consecutive", required_run=2)),
+            ("edge-w-sc", lambda: CounterStridePredictor(counter_max=3, threshold=3)),
+        )
+        for name, factory in cases:
+            temporary_predictor(name, factory)
+            for split in range(1, len(values)):
+                assert_window_parity(trace, name, split)
 
 
 @requires_numpy
