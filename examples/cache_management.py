@@ -19,8 +19,12 @@ See ``docs/cache-layout.md`` for the on-disk contract.
 
 from __future__ import annotations
 
+import sys
 import tempfile
 from pathlib import Path
+
+# Allow running from a fresh clone without installing: put src/ on the path.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.engine import ExecutionEngine
 from repro.reporting.tables import format_table

@@ -14,7 +14,12 @@ Run with::
 
 from __future__ import annotations
 
+import sys
 from collections import Counter
+from pathlib import Path
+
+# Allow running from a fresh clone without installing: put src/ on the path.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro import PAPER_PREDICTORS, classify_sequence, simulate_trace
 from repro.isa.memory import SparseMemory

@@ -20,6 +20,12 @@ Run with::
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Allow running from a fresh clone without installing: put src/ on the path.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import get_workload, simulate_trace
 from repro.reporting.tables import format_table
 from repro.simulation.correlation import SUBSET_LABELS, correlation_breakdown

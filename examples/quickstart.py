@@ -15,6 +15,12 @@ The example walks through the three layers of the library:
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Allow running from a fresh clone without installing: put src/ on the path.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import (
     PAPER_PREDICTORS,
     SequenceClass,

@@ -1,39 +1,69 @@
-"""Regenerate every table and figure of the paper in one run.
+"""Reproduce the paper's deliverables through the committed artifact manifest.
 
 Run with::
 
-    python examples/reproduce_paper.py [scale]
+    python examples/reproduce_paper.py [--only SELECTOR ...] [--check]
 
-The optional ``scale`` argument (default 1.0) multiplies the synthetic
-workloads' loop trip counts; larger scales take longer but move every
-predictor deeper into steady state.  The output of this script is what
-EXPERIMENTS.md records.
+This is the library-level twin of ``repro-vp reproduce``: it loads the
+committed ``artifact/manifest.json`` (the single source of truth for what
+"reproducing the paper" means), regenerates the selected deliverables into
+an isolated ``results/<run-id>/`` directory, prints each rendered table or
+figure, and — with ``--check`` — diffs the regenerated numbers cell by
+cell against the committed goldens under ``artifact/expected/``.
+
+See ``ARTIFACTS.md`` for the full deliverable-to-command map and
+``docs/reproducing.md`` for the reproduction workflow.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-import time
+from pathlib import Path
 
-from repro.reporting.experiments import ALL_EXPERIMENTS, run_experiment
+# Allow running from a fresh clone without installing: put src/ on the path.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-#: Experiments that accept a scale parameter (the suite-wide ones).
-_SCALED = {
-    "table2", "table4", "table5", "table6", "table7",
-    "figure3", "figure4_7", "figure8", "figure9", "figure10", "figure11",
-}
+from repro.artifact import load_manifest, reproduce  # noqa: E402
 
 
-def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
-    started = time.time()
-    for identifier in sorted(ALL_EXPERIMENTS):
-        kwargs = {"scale": scale} if identifier in _SCALED else {}
-        artifact = run_experiment(identifier, **kwargs)
-        print(f"\n{'=' * 78}\n{identifier}: {artifact.title}\n{'=' * 78}")
-        print(artifact.render())
-    print(f"\nAll experiments regenerated in {time.time() - started:.1f}s at scale {scale}.")
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="SELECTOR",
+        help="deliverable identifiers (table2, figure3), the groups "
+        "'tables'/'figures', or globs like 'table*' (default: everything)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="diff the regenerated numbers against the committed goldens "
+        "and exit non-zero on any mismatch",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        metavar="DIR",
+        help="parent directory for the results/<run-id>/ directory",
+    )
+    args = parser.parse_args()
+
+    manifest = load_manifest()
+    report = reproduce(manifest, only=args.only, out_dir=args.out, check=args.check)
+    for run in report.runs:
+        print(f"\n{'=' * 78}\n{run.deliverable.identifier}: {run.artifact.title}\n{'=' * 78}")
+        print(run.artifact.render())
+
+    print(f"\nresults directory: {report.run_dir}")
+    print(f"manifest: {manifest.path} ({len(report.runs)} deliverable(s) reproduced)")
+    if report.check_report is not None:
+        print(report.check_report.render())
+        return 0 if report.check_report.ok else 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

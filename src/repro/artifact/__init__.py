@@ -1,0 +1,52 @@
+"""One-command reproduction of the paper's deliverables.
+
+The package behind ``repro-vp reproduce``: a committed manifest
+(``artifact/manifest.json``) enumerates every table and figure of
+Sazeides & Smith (MICRO-30, 1997) with the experiment entry point,
+exact parameters, and expected-result digest; :func:`reproduce`
+regenerates them through the engine's phase executor into an isolated
+``results/<run-id>/`` directory, and ``--check`` diffs the regenerated
+numbers cell by cell against the committed goldens under
+``artifact/expected/``.
+"""
+
+from repro.artifact.check import (
+    CellDiff,
+    CheckReport,
+    DeliverableCheck,
+    check_deliverable,
+    diff_payloads,
+    load_expected,
+)
+from repro.artifact.manifest import (
+    MANIFEST_VERSION,
+    ArtifactManifest,
+    Deliverable,
+    canonical_json,
+    default_manifest_path,
+    load_manifest,
+    payload_digest,
+)
+from repro.artifact.runner import DeliverableRun, ReproductionReport, reproduce, result_payload
+from repro.errors import ArtifactError
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "ArtifactError",
+    "ArtifactManifest",
+    "CellDiff",
+    "CheckReport",
+    "Deliverable",
+    "DeliverableCheck",
+    "DeliverableRun",
+    "ReproductionReport",
+    "canonical_json",
+    "check_deliverable",
+    "default_manifest_path",
+    "diff_payloads",
+    "load_expected",
+    "load_manifest",
+    "payload_digest",
+    "reproduce",
+    "result_payload",
+]

@@ -1,0 +1,217 @@
+"""Golden checking: diff regenerated deliverables against committed results.
+
+``repro-vp reproduce --check`` regenerates every selected deliverable and
+compares its canonical payload against the committed golden under
+``artifact/expected/``.  The comparison is digest-first (one SHA-256 over
+the canonical JSON — a match proves bit-identical numbers), and on
+mismatch it degrades into a **per-cell diff** naming the table, the row
+and the column of every differing value, so a drifted result reads like a
+review comment rather than a hash soup.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.artifact.manifest import Deliverable, payload_digest
+from repro.errors import ArtifactError
+
+#: Cap on rendered cell diffs per deliverable; a wholesale divergence
+#: (e.g. a different scale) would otherwise print every cell of every grid.
+MAX_RENDERED_DIFFS = 20
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """One differing cell, addressed the way a reader finds it."""
+
+    deliverable: str
+    grid: str
+    row: str
+    column: str
+    expected: object
+    actual: object
+
+    def render(self) -> str:
+        return (
+            f"{self.deliverable} [{self.grid}] row {self.row!r}, column {self.column!r}: "
+            f"expected {self.expected!r}, got {self.actual!r}"
+        )
+
+
+@dataclass
+class DeliverableCheck:
+    """Outcome of checking one deliverable against its golden.
+
+    ``status`` is ``"ok"`` (digests match), ``"mismatch"`` (numbers
+    differ — ``diffs``/``messages`` carry the detail), or
+    ``"missing-expected"`` (no committed golden to compare against).
+    """
+
+    identifier: str
+    status: str
+    expected_digest: str | None = None
+    actual_digest: str | None = None
+    diffs: list[CellDiff] = field(default_factory=list)
+    messages: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_payload(self) -> dict:
+        return {
+            "identifier": self.identifier,
+            "status": self.status,
+            "expected_digest": self.expected_digest,
+            "actual_digest": self.actual_digest,
+            "cell_diffs": [diff.render() for diff in self.diffs],
+            "messages": list(self.messages),
+        }
+
+
+@dataclass
+class CheckReport:
+    """All deliverable checks of one reproduction run."""
+
+    checks: list[DeliverableCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def failures(self) -> list[DeliverableCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def render(self) -> str:
+        """The human report the CLI prints on failure (one line per problem)."""
+        lines: list[str] = []
+        for check in self.failures():
+            lines.append(f"check failed: {check.identifier} ({check.status})")
+            for message in check.messages:
+                lines.append(f"  {message}")
+            shown = check.diffs[:MAX_RENDERED_DIFFS]
+            for diff in shown:
+                lines.append(f"  {diff.render()}")
+            hidden = len(check.diffs) - len(shown)
+            if hidden > 0:
+                lines.append(f"  ... and {hidden} more differing cell(s)")
+        if not lines:
+            lines.append(f"check passed: {len(self.checks)} deliverable(s) match the goldens")
+        return "\n".join(lines)
+
+
+def _grid_cell_diffs(identifier: str, expected: Mapping, actual: Mapping) -> list[CellDiff]:
+    """Cell-level diff of one grid payload pair.
+
+    Rows are addressed by their first cell (every experiment grid's first
+    column is the row label: benchmark, category, sequence class, x value)
+    and columns by the header, so a diff line names what the paper's
+    reader would point at.
+    """
+    title = str(expected.get("title") or actual.get("title") or "?")
+    expected_columns = list(expected.get("columns", []))
+    actual_columns = list(actual.get("columns", []))
+    columns = expected_columns if len(expected_columns) >= len(actual_columns) else actual_columns
+    diffs: list[CellDiff] = []
+    expected_rows = list(expected.get("rows", []))
+    actual_rows = list(actual.get("rows", []))
+    for row_index in range(max(len(expected_rows), len(actual_rows))):
+        expected_row = expected_rows[row_index] if row_index < len(expected_rows) else []
+        actual_row = actual_rows[row_index] if row_index < len(actual_rows) else []
+        label = str((expected_row or actual_row or ["?"])[0])
+        for column_index in range(max(len(expected_row), len(actual_row))):
+            expected_cell = (
+                expected_row[column_index] if column_index < len(expected_row) else "<absent>"
+            )
+            actual_cell = actual_row[column_index] if column_index < len(actual_row) else "<absent>"
+            if expected_cell != actual_cell:
+                column = (
+                    str(columns[column_index]) if column_index < len(columns) else f"#{column_index}"
+                )
+                diffs.append(
+                    CellDiff(identifier, title, label, column, expected_cell, actual_cell)
+                )
+    return diffs
+
+
+def diff_payloads(identifier: str, expected: Mapping, actual: Mapping) -> DeliverableCheck:
+    """Compare two canonical result payloads cell by cell."""
+    check = DeliverableCheck(
+        identifier=identifier,
+        status="ok",
+        expected_digest=payload_digest(_digestable(expected)),
+        actual_digest=payload_digest(_digestable(actual)),
+    )
+    if check.expected_digest == check.actual_digest:
+        return check
+    check.status = "mismatch"
+    expected_grids = list(expected.get("grids", []))
+    actual_grids = list(actual.get("grids", []))
+    if len(expected_grids) != len(actual_grids):
+        check.messages.append(
+            f"grid count differs: expected {len(expected_grids)}, got {len(actual_grids)}"
+        )
+    for index in range(min(len(expected_grids), len(actual_grids))):
+        check.diffs.extend(_grid_cell_diffs(identifier, expected_grids[index], actual_grids[index]))
+    if not check.diffs and not check.messages:
+        # Same numbers, different metadata (title/column rename): still a
+        # mismatch — the golden pins the whole canonical payload.
+        check.messages.append("payload metadata differs (titles or columns)")
+    return check
+
+
+def _digestable(payload: Mapping) -> dict:
+    """The digest-covered subset of a result payload (drops 'digest' itself)."""
+    return {key: value for key, value in payload.items() if key != "digest"}
+
+
+def load_expected(manifest_dir: Path, deliverable: Deliverable) -> Mapping | None:
+    """Load a committed golden payload; ``None`` when it does not exist."""
+    path = manifest_dir / f"{deliverable.identifier}.json"
+    if not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"unreadable golden {path}: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise ArtifactError(f"golden {path} is not a JSON object")
+    return payload
+
+
+def check_deliverable(
+    deliverable: Deliverable, actual_payload: Mapping, expected_payload: Mapping | None
+) -> DeliverableCheck:
+    """Check one regenerated payload against its golden (and the manifest).
+
+    Also cross-checks the manifest's ``expected_digest`` against the golden
+    file itself, so a manifest/golden skew (edited one, forgot the other)
+    is reported rather than silently trusted.
+    """
+    if expected_payload is None:
+        return DeliverableCheck(
+            identifier=deliverable.identifier,
+            status="missing-expected",
+            expected_digest=deliverable.expected_digest,
+            actual_digest=payload_digest(_digestable(actual_payload)),
+            messages=[
+                f"no committed golden artifact/expected/{deliverable.identifier}.json; "
+                "record one with 'repro-vp reproduce --update-expected'"
+            ],
+        )
+    check = diff_payloads(deliverable.identifier, _digestable(expected_payload), actual_payload)
+    if (
+        deliverable.expected_digest is not None
+        and deliverable.expected_digest != check.expected_digest
+    ):
+        check.messages.append(
+            f"manifest expected_digest {deliverable.expected_digest} does not match the "
+            f"committed golden's digest {check.expected_digest} (manifest/golden skew)"
+        )
+        if check.status == "ok":
+            check.status = "mismatch"
+    return check

@@ -2,6 +2,12 @@
 
 Subcommands
 -----------
+``reproduce``
+    One-command reproduction artifact: regenerate every paper deliverable
+    from the committed ``artifact/manifest.json`` into an isolated
+    ``results/<run-id>/`` directory, optionally checking the numbers
+    cell-by-cell against the committed goldens (``--check``); see
+    ``docs/reproducing.md`` and ``ARTIFACTS.md``.
 ``experiments``
     Regenerate one, several or all of the paper's tables and figures.
 ``campaign``
@@ -61,6 +67,60 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'The Predictability of Data Values' (MICRO-30, 1997)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    reproduce = subparsers.add_parser(
+        "reproduce",
+        help="regenerate the paper's deliverables from the committed artifact manifest",
+    )
+    reproduce.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="SELECTOR",
+        help="restrict to matching deliverables: identifiers (table2, figure3), "
+        "the groups 'tables'/'figures', or globs like 'table*' "
+        "(default: everything in the manifest)",
+    )
+    reproduce.add_argument(
+        "--out",
+        default="results",
+        metavar="DIR",
+        help="parent directory for the isolated results/<run-id>/ directory "
+        "(default: results)",
+    )
+    reproduce.add_argument(
+        "--check",
+        action="store_true",
+        help="diff the regenerated numbers cell-by-cell against the committed "
+        "goldens under artifact/expected/ and exit non-zero on any mismatch",
+    )
+    reproduce.add_argument(
+        "--update-expected",
+        action="store_true",
+        help="rewrite the committed goldens and the manifest's expected digests "
+        "from this run (maintainers only, after a reviewed numbers change)",
+    )
+    reproduce.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="artifact manifest to reproduce (default: the committed "
+        "artifact/manifest.json, located from the working directory upward)",
+    )
+    reproduce.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_deliverables",
+        help="list the manifest's deliverables (after --only filtering) and exit",
+    )
+    reproduce.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="override every scale-taking deliverable's workload scale "
+        "(exploratory runs only; incompatible with --check/--update-expected)",
+    )
+    _add_engine_arguments(reproduce)
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
@@ -466,6 +526,107 @@ def _telemetry_from_arguments(args: argparse.Namespace, command: str):
     if args.workers:
         telemetry.annotate(workers=list(args.workers))
     return telemetry
+
+
+def _command_reproduce(args: argparse.Namespace, argv: Sequence[str] | None) -> int:
+    from repro.artifact import reproduce
+    from repro.artifact.manifest import load_manifest
+    from repro.errors import ArtifactError
+
+    error = _apply_worker_arguments(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    if args.telemetry_dir is not None:
+        print(
+            "reproduce records telemetry into the results directory itself "
+            "(results/<run-id>/manifest.json + metrics.jsonl); --telemetry-dir does not apply",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        manifest = load_manifest(args.manifest)
+        deliverables = manifest.select(args.only)
+    except ArtifactError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.list_deliverables:
+        rows = [
+            [d.identifier, d.kind, d.experiment, "yes" if d.expected_digest else "no", d.title]
+            for d in deliverables
+        ]
+        print(
+            format_table(
+                ["deliverable", "kind", "experiment", "golden", "title"],
+                rows,
+                title=f"Artifact manifest — {manifest.paper} ({manifest.path})",
+            )
+        )
+        return 0
+    set_campaign_defaults(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        cache_format=args.cache_format,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_age=args.cache_max_age,
+        backend=args.backend,
+        workers=args.workers,
+        kernel=args.kernel,
+        shard_window=args.shard_window,
+    )
+    try:
+        report = reproduce(
+            manifest,
+            only=args.only,
+            out_dir=args.out,
+            check=args.check,
+            update_expected=args.update_expected,
+            scale=args.scale,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+        )
+    except ArtifactError as error:
+        print(error, file=sys.stderr)
+        return 2
+    except DispatchError as error:
+        # Backend infrastructure failed; completed units are cached, so a
+        # rerun resumes where this one stopped (same surface as campaign).
+        print(error, file=sys.stderr)
+        return 1
+    headers = ["deliverable", "kind", "digest", "seconds"]
+    if report.check_report is not None:
+        headers.append("check")
+    rows = []
+    for run in report.runs:
+        row: list[object] = [
+            run.deliverable.identifier,
+            run.deliverable.kind,
+            run.digest[:12],
+            f"{run.seconds:.2f}",
+        ]
+        if report.check_report is not None:
+            row.append(run.check.status if run.check is not None else "?")
+        rows.append(row)
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"Reproduce — {len(report.runs)} deliverable(s) → {report.run_dir}",
+        )
+    )
+    if report.stats is not None:
+        print(_stats_line(report.stats))
+    if args.update_expected:
+        print(
+            f"updated goldens under {manifest.expected_dir()} "
+            f"and expected digests in {manifest.path}"
+        )
+    if report.check_report is not None:
+        if not report.check_report.ok:
+            print(report.check_report.render(), file=sys.stderr)
+            return 1
+        print(report.check_report.render())
+    return 0
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
@@ -1011,6 +1172,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by both the console script and ``python -m repro``."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.command == "reproduce":
+        return _command_reproduce(args, argv)
     if args.command == "experiments":
         return _command_experiments(args)
     if args.command == "campaign":

@@ -67,6 +67,17 @@ MANIFEST_NAME = "manifest.json"
 METRICS_NAME = "metrics.jsonl"
 
 
+def default_run_id() -> str:
+    """A fresh run identifier: wall-clock tag plus pid (``20260808-142501-12345``).
+
+    Shared by :class:`RunTelemetry` and the reproduction artifact's
+    results-directory allocation (``results/<run-id>/``), so a run's
+    directory name and the ``run`` field of every record in its
+    ``metrics.jsonl`` agree by construction.
+    """
+    return time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid()}"
+
+
 class _NullSpan:
     """Shared inert span; every operation is a no-op."""
 
@@ -239,7 +250,7 @@ class RunTelemetry(Telemetry):
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self.run_id = run_id or time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid()}"
+        self.run_id = run_id or default_run_id()
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next_span_id = 0

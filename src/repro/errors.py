@@ -112,3 +112,13 @@ class RemoteTaskError(ReproError):
 
 class ReportingError(ReproError):
     """Raised when experiment/report generation fails."""
+
+
+class ArtifactError(ReproError):
+    """Raised for reproduction-artifact failures (:mod:`repro.artifact`).
+
+    Covers malformed or missing artifact manifests, ``--only`` selectors
+    matching no deliverable, and golden files that cannot be read.  A
+    *mismatch* between regenerated numbers and committed goldens is not an
+    exception — it is a :class:`repro.artifact.check.CheckReport` with
+    per-cell diffs, surfaced through the CLI's exit code."""

@@ -25,7 +25,7 @@ from repro.core.registry import create_predictor
 from repro.errors import ReportingError
 from repro.isa.opcodes import CATEGORY_OF, Category, REPORTED_CATEGORIES
 from repro.reporting.figures import FigureSeries
-from repro.reporting.tables import format_table
+from repro.reporting.tables import Grid
 from repro.sequences.analysis import (
     measure_learning,
     prediction_outcomes,
@@ -55,15 +55,29 @@ class ExperimentArtifact:
         consumption.
     text:
         Rendered plain-text form (what the CLI prints).
+    grids:
+        Machine-readable grids (:class:`repro.reporting.tables.Grid`),
+        one per table the text rendering shows.  This is the canonical
+        numeric form the reproduction artifact digests, diffs and writes
+        as CSV/Markdown (see :mod:`repro.artifact`); ``text`` is always a
+        rendering of these grids, so the two cannot disagree.
     """
 
     identifier: str
     title: str
     data: Any
     text: str
+    grids: tuple[Grid, ...] = ()
 
     def render(self) -> str:
         return self.text
+
+
+def _grid_artifact(identifier: str, title: str, data: Any, *grids: Grid) -> ExperimentArtifact:
+    """Build an artifact whose text renders its grids (the common case)."""
+    return ExperimentArtifact(
+        identifier, title, data, "\n\n".join(grid.render() for grid in grids), grids=tuple(grids)
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -83,8 +97,10 @@ def table1(length: int = 64, period: int = 4) -> ExperimentArtifact:
             cells.append(profile.learning_time)
             cells.append(profile.learning_degree)
         rows.append(cells)
-    text = format_table(headers, rows, title="Table 1 — predictor behaviour per sequence class")
-    return ExperimentArtifact("table1", "Behaviour of prediction models for value sequences", measured, text)
+    grid = Grid("Table 1 — predictor behaviour per sequence class", headers, rows)
+    return _grid_artifact(
+        "table1", "Behaviour of prediction models for value sequences", measured, grid
+    )
 
 
 def figure1(sequence: str = "aaabcaaabcaaa") -> ExperimentArtifact:
@@ -110,12 +126,12 @@ def figure1(sequence: str = "aaabcaaabcaaa") -> ExperimentArtifact:
             "contexts": contexts,
         }
     rows = [[order, models[order]["prediction"], models[order]["contexts"]] for order in models]
-    text = format_table(
+    grid = Grid(
+        f"Figure 1 — finite context models over {sequence!r}",
         ["Order", "Prediction", "Context counts"],
         rows,
-        title=f"Figure 1 — finite context models over {sequence!r}",
     )
-    return ExperimentArtifact("figure1", "Finite context models", models, text)
+    return _grid_artifact("figure1", "Finite context models", models, grid)
 
 
 def figure2(period: int = 4, repetitions: int = 3) -> ExperimentArtifact:
@@ -138,8 +154,8 @@ def figure2(period: int = 4, repetitions: int = 3) -> ExperimentArtifact:
         ["fcm2 correct"] + ["y" if ok else "." for _, ok in fcm_outcomes],
     ]
     headers = ["step"] + [str(i) for i in range(len(values))]
-    text = format_table(headers, rows, title="Figure 2 — computational vs context based prediction")
-    return ExperimentArtifact("figure2", "Computational vs context based prediction", data, text)
+    grid = Grid("Figure 2 — computational vs context based prediction", headers, rows)
+    return _grid_artifact("figure2", "Computational vs context based prediction", data, grid)
 
 
 def table3() -> ExperimentArtifact:
@@ -152,8 +168,8 @@ def table3() -> ExperimentArtifact:
         for category, opcodes in groups.items()
         if category not in (Category.STORE, Category.CONTROL)
     ]
-    text = format_table(["Category", "Opcodes"], rows, title="Table 3 — instruction categories")
-    return ExperimentArtifact("table3", "Instruction categories", groups, text)
+    grid = Grid("Table 3 — instruction categories", ["Category", "Opcodes"], rows)
+    return _grid_artifact("table3", "Instruction categories", groups, grid)
 
 
 # --------------------------------------------------------------------------- #
@@ -183,15 +199,15 @@ def table2(scale: float | None = None) -> ExperimentArtifact:
                 100.0 * stats.fraction_predicted,
             ]
         )
-    text = format_table(
+    grid = Grid(
+        "Table 2 — benchmark characteristics (synthetic suite)",
         ["Benchmark", "Dynamic instr.", "Predicted instr.", "Predicted (%)"],
         rows,
-        title="Table 2 — benchmark characteristics (synthetic suite)",
     )
-    return ExperimentArtifact("table2", "Benchmark characteristics", data, text)
+    return _grid_artifact("table2", "Benchmark characteristics", data, grid)
 
 
-def _category_table(scale: float | None, static: bool) -> tuple[dict, str]:
+def _category_table(scale: float | None, static: bool) -> tuple[dict, Grid]:
     campaign = _campaign(scale)
     categories = [category for category in Category if category.value in
                   ("AddSub", "Loads", "Logic", "Shift", "Set", "MultDiv", "Lui", "Other")]
@@ -210,24 +226,24 @@ def _category_table(scale: float | None, static: bool) -> tuple[dict, str]:
             row.append(value)
         rows.append(row)
     which = "static count" if static else "dynamic (%)"
-    text = format_table(
+    grid = Grid(
+        f"Table {'4' if static else '5'} — predicted instructions, {which}",
         ["Type"] + list(campaign.benchmarks()),
         rows,
-        title=f"Table {'4' if static else '5'} — predicted instructions, {which}",
     )
-    return data, text
+    return data, grid
 
 
 def table4(scale: float | None = None) -> ExperimentArtifact:
     """Table 4: static count of predicted instructions per category."""
-    data, text = _category_table(scale, static=True)
-    return ExperimentArtifact("table4", "Predicted instructions — static count", data, text)
+    data, grid = _category_table(scale, static=True)
+    return _grid_artifact("table4", "Predicted instructions — static count", data, grid)
 
 
 def table5(scale: float | None = None) -> ExperimentArtifact:
     """Table 5: dynamic percentage of predicted instructions per category."""
-    data, text = _category_table(scale, static=False)
-    return ExperimentArtifact("table5", "Predicted instructions — dynamic %", data, text)
+    data, grid = _category_table(scale, static=False)
+    return _grid_artifact("table5", "Predicted instructions — dynamic %", data, grid)
 
 
 def _accuracy_figure(scale: float | None, category: Category | None, name: str, title: str) -> ExperimentArtifact:
@@ -241,7 +257,7 @@ def _accuracy_figure(scale: float | None, category: Category | None, name: str, 
     )
     for predictor in campaign.predictor_names:
         figure.add_series(predictor, report.benchmark_series(predictor, category))
-    return ExperimentArtifact(name, title, figure, figure.render())
+    return _grid_artifact(name, title, figure, figure.to_grid())
 
 
 def figure3(scale: float | None = None) -> ExperimentArtifact:
@@ -260,7 +276,7 @@ def figure4_7(scale: float | None = None) -> ExperimentArtifact:
         "figure6": Category.LOGIC,
         "figure7": Category.SHIFT,
     }
-    texts = []
+    grids = []
     for identifier, category in mapping.items():
         figure = FigureSeries(
             name=f"{identifier} ({category.value})",
@@ -271,9 +287,9 @@ def figure4_7(scale: float | None = None) -> ExperimentArtifact:
         for predictor in campaign.predictor_names:
             figure.add_series(predictor, report.benchmark_series(predictor, category))
         figures[identifier] = figure
-        texts.append(figure.render())
-    return ExperimentArtifact(
-        "figure4_7", "Prediction success per instruction type", figures, "\n\n".join(texts)
+        grids.append(figure.to_grid())
+    return _grid_artifact(
+        "figure4_7", "Prediction success per instruction type", figures, *grids
     )
 
 
@@ -296,7 +312,7 @@ def figure8(scale: float | None = None) -> ExperimentArtifact:
         ]
         figure.add_series(label, values)
     data = {"average": averaged, "per_benchmark": dict(zip(campaign.benchmarks(), breakdowns))}
-    return ExperimentArtifact("figure8", "Contribution of different predictors", data, figure.render())
+    return _grid_artifact("figure8", "Contribution of different predictors", data, figure.to_grid())
 
 
 def figure9(scale: float | None = None) -> ExperimentArtifact:
@@ -316,7 +332,7 @@ def figure9(scale: float | None = None) -> ExperimentArtifact:
         figure.add_series(
             label, [curve.points.get(int(x), 100.0 if curve.points else 0.0) for x in x_values]
         )
-    return ExperimentArtifact("figure9", "Cumulative improvement of FCM over stride", curves, figure.render())
+    return _grid_artifact("figure9", "Cumulative improvement of FCM over stride", curves, figure.to_grid())
 
 
 def figure10(scale: float | None = None) -> ExperimentArtifact:
@@ -337,7 +353,7 @@ def figure10(scale: float | None = None) -> ExperimentArtifact:
         ]
         figure.add_series(label, values)
     data = {"average": averaged, "per_benchmark": dict(zip(campaign.benchmarks(), profiles))}
-    return ExperimentArtifact("figure10", "Values and instruction behaviour", data, figure.render())
+    return _grid_artifact("figure10", "Values and instruction behaviour", data, figure.to_grid())
 
 
 # --------------------------------------------------------------------------- #
@@ -353,24 +369,24 @@ def table6(scale: float | None = None) -> ExperimentArtifact:
     """Table 6: gcc sensitivity to different input files (order-2 fcm)."""
     points = input_sensitivity(scale=DEFAULT_SCALE if scale is None else scale)
     rows = [[point.setting, point.predictions, point.accuracy] for point in points]
-    text = format_table(
+    grid = Grid(
+        "Table 6 — gcc sensitivity to input files (fcm order 2)",
         ["Input file", "Predictions", "Correct (%)"],
         rows,
-        title="Table 6 — gcc sensitivity to input files (fcm order 2)",
     )
-    return ExperimentArtifact("table6", "gcc input-file sensitivity", points, text)
+    return _grid_artifact("table6", "gcc input-file sensitivity", points, grid)
 
 
 def table7(scale: float | None = None) -> ExperimentArtifact:
     """Table 7: gcc sensitivity to compilation flags (order-2 fcm)."""
     points = flag_sensitivity(scale=DEFAULT_SCALE if scale is None else scale)
     rows = [[point.setting, point.predictions, point.accuracy] for point in points]
-    text = format_table(
+    grid = Grid(
+        "Table 7 — gcc sensitivity to flags (fcm order 2)",
         ["Flags", "Predictions", "Correct (%)"],
         rows,
-        title="Table 7 — gcc sensitivity to flags (fcm order 2)",
     )
-    return ExperimentArtifact("table7", "gcc flag sensitivity", points, text)
+    return _grid_artifact("table7", "gcc flag sensitivity", points, grid)
 
 
 def figure11(scale: float | None = None, max_order: int = 8) -> ExperimentArtifact:
@@ -386,7 +402,7 @@ def figure11(scale: float | None = None, max_order: int = 8) -> ExperimentArtifa
         x_values=[str(order) for order in orders],
     )
     figure.add_series("fcm", [accuracies[order] for order in orders])
-    return ExperimentArtifact("figure11", "gcc sensitivity to fcm order", accuracies, figure.render())
+    return _grid_artifact("figure11", "gcc sensitivity to fcm order", accuracies, figure.to_grid())
 
 
 # --------------------------------------------------------------------------- #

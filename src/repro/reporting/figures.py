@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.reporting.tables import format_table
+from repro.reporting.tables import Grid
 
 
 @dataclass
@@ -47,10 +47,19 @@ class FigureSeries:
         """Look up a single data point by series label and x position."""
         return self.series[label][self.x_values.index(x_value)]
 
-    def render(self) -> str:
-        """Render the series as a plain-text table (x axis as rows)."""
+    def to_grid(self) -> Grid:
+        """The figure's data as a machine-readable grid (x axis as rows).
+
+        This is the canonical form the artifact layer digests and diffs;
+        :meth:`render` is its plain-text rendering, so the two can never
+        disagree.
+        """
         headers = [self.x_label] + list(self.series)
         rows = []
         for index, x_value in enumerate(self.x_values):
             rows.append([x_value] + [self.series[label][index] for label in self.series])
-        return format_table(headers, rows, title=f"{self.name} — {self.y_label}")
+        return Grid(title=f"{self.name} — {self.y_label}", headers=headers, rows=rows)
+
+    def render(self) -> str:
+        """Render the series as a plain-text table (x axis as rows)."""
+        return self.to_grid().render()

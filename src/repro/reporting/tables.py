@@ -1,7 +1,18 @@
-"""Plain-text table rendering used by the experiment reports."""
+"""Table rendering and machine-readable grids for the experiment reports.
+
+Historically this module only rendered aligned plain text.  The artifact
+layer (:mod:`repro.artifact`) needs the *numbers* behind every table and
+figure in a canonical, diffable form, so rendering now goes through
+:class:`Grid` — one headers-plus-rows value object per table — which
+renders to plain text (unchanged output), GitHub Markdown and CSV, and
+canonicalises into a JSON-safe payload whose digest pins a deliverable.
+"""
 
 from __future__ import annotations
 
+import csv
+import io
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 
@@ -11,6 +22,85 @@ def _stringify(cell: object) -> str:
     if cell is None:
         return "-"
     return str(cell)
+
+
+def canonical_cell(cell: object) -> object:
+    """Map a grid cell to its canonical JSON-safe value.
+
+    Numbers stay numbers (full precision — the artifact goldens pin exact
+    values, not the 1-decimal rendering), ``None`` stays ``None``, and
+    anything else (labels, nested context dicts) becomes its ``str``
+    form.  ``bool`` is checked before ``int`` because it subclasses it.
+    """
+    if cell is None or isinstance(cell, str):
+        return cell
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, (int, float)):
+        return cell
+    return str(cell)
+
+
+@dataclass
+class Grid:
+    """One machine-readable table: a title, column headers and rows.
+
+    The plain-text rendering is byte-identical to what
+    :func:`format_table` always produced, so switching the experiment
+    entry points to build grids changed nothing a human (or a golden
+    test) sees; the Markdown/CSV/payload writers are the new surface the
+    reproduction artifact is built on.
+    """
+
+    title: str
+    headers: list
+    rows: list = field(default_factory=list)
+
+    def render(self) -> str:
+        """Aligned plain text (what the CLI prints)."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown table (1-decimal floats, like text)."""
+
+        def md_cell(cell: object) -> str:
+            return _stringify(cell).replace("|", "\\|")
+
+        lines = []
+        if self.title:
+            lines.append(f"### {self.title}")
+            lines.append("")
+        lines.append("| " + " | ".join(md_cell(cell) for cell in self.headers) + " |")
+        lines.append("|" + "|".join(" --- " for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(md_cell(cell) for cell in row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV with canonical (full-precision) cells, headers first."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow([canonical_cell(cell) for cell in self.headers])
+        for row in self.rows:
+            writer.writerow([canonical_cell(cell) for cell in row])
+        return buffer.getvalue()
+
+    def to_payload(self) -> dict:
+        """Canonical JSON-safe form: the unit the artifact goldens pin."""
+        return {
+            "title": self.title,
+            "columns": [canonical_cell(cell) for cell in self.headers],
+            "rows": [[canonical_cell(cell) for cell in row] for row in self.rows],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Grid":
+        """Rebuild a grid from :meth:`to_payload` output (golden files)."""
+        return cls(
+            title=payload.get("title", ""),
+            headers=list(payload.get("columns", [])),
+            rows=[list(row) for row in payload.get("rows", [])],
+        )
 
 
 def format_table(

@@ -1,0 +1,58 @@
+"""Every relative link in the documentation resolves.
+
+Scans README.md, ARTIFACTS.md and docs/**/*.md for Markdown links and
+reference-style definitions, and asserts each relative target exists on
+disk (anchors and external URLs are out of scope).  CI runs this as the
+docs link-checker step, so a renamed file with a stale link fails fast.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Inline links ``[text](target)`` — target captured up to the closing paren.
+_INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference definitions ``[label]: target``.
+_REFERENCE_LINK = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: Schemes that point outside the repository.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _documentation_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "ARTIFACTS.md"]
+    files.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def _relative_targets(text: str) -> list[str]:
+    targets = _INLINE_LINK.findall(text) + _REFERENCE_LINK.findall(text)
+    relative = []
+    for target in targets:
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if path_part:
+            relative.append(path_part)
+    return relative
+
+
+def test_documentation_set_is_nonempty():
+    files = _documentation_files()
+    assert REPO_ROOT / "README.md" in files
+    assert REPO_ROOT / "ARTIFACTS.md" in files
+    assert any(path.parent.name == "docs" for path in files)
+
+
+@pytest.mark.parametrize("doc", _documentation_files(), ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_relative_links_resolve(doc: Path):
+    broken = []
+    for target in _relative_targets(doc.read_text(encoding="utf-8")):
+        resolved = (doc.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.relative_to(REPO_ROOT)} has broken relative link(s): {broken}"
